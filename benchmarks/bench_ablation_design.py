@@ -1,0 +1,102 @@
+"""Ablations on the framework's design choices.
+
+1. **Extension strategies** — time-series interpolation and regression
+   imputation slot into the same three-dimensional evaluation next to the
+   paper's five (the future-work direction of Section 6.1: structure-aware
+   cleaning).
+2. **Oracle re-measurement** — Figure 2's expensive strategy: at matched
+   glitch coverage it achieves far lower distortion than any model-based
+   imputation, anchoring the bottom of the distortion axis.
+3. **Replication count** — Section 2.1.1: "any value of R more than 30 is
+   sufficient"; the sweep shows summary means stabilising well before that.
+4. **Trade-off analysis** — the Pareto front / knee of the final metric
+   space, i.e. what the framework actually recommends.
+"""
+
+import numpy as np
+
+from repro.cleaning.registry import paper_strategies, strategy_by_name
+from repro.cleaning.remeasure import RemeasureStrategy
+from repro.core.framework import ExperimentRunner
+from repro.core.tradeoff import knee_point, pareto_front
+from repro.experiments.report import render_strategy_summaries
+
+from conftest import run_once
+
+
+def test_extension_strategies(benchmark, bundle, config):
+    strategies = paper_strategies() + [
+        strategy_by_name("interpolate"),
+        strategy_by_name("interpolate+winsorize"),
+        strategy_by_name("regression"),
+    ]
+
+    def run():
+        runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+        return runner.run(strategies)
+
+    result = run_once(benchmark, run)
+    print()
+    print(render_strategy_summaries(
+        result.summaries(), title="Extension strategies vs the paper's five"
+    ))
+
+
+def test_oracle_remeasure(benchmark, bundle, config):
+    strategies = [
+        strategy_by_name("strategy4"),
+        strategy_by_name("strategy2"),
+        RemeasureStrategy(coverage=1.0),
+        RemeasureStrategy(coverage=0.3),
+    ]
+    strategies[2].name = "remeasure@100%"
+    strategies[3].name = "remeasure@30%"
+
+    def run():
+        runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+        return runner.run(strategies)
+
+    result = run_once(benchmark, run)
+    print()
+    print(render_strategy_summaries(
+        result.summaries(),
+        title="Figure 2's budget story: imputation vs re-measurement",
+    ))
+    s = {x.strategy: x for x in result.summaries()}
+    assert (
+        s["remeasure@100%"].distortion_mean < s["strategy2"].distortion_mean
+    ), "the oracle must beat model-based imputation on distortion"
+
+
+def test_replication_count_sweep(benchmark, bundle, config):
+    def run():
+        rows = {}
+        for r in (3, 5, 10):
+            cfg = config.variant(n_replications=min(r, config.n_replications * 5))
+            runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=cfg)
+            result = runner.run([strategy_by_name("strategy5")])
+            s = result.summaries()[0]
+            rows[r] = (s.improvement_mean, s.distortion_mean)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print("Replication-count sweep (strategy5):")
+    print(f"{'R':>4} {'improvement':>12} {'EMD':>8}")
+    for r, (imp, emd) in rows.items():
+        print(f"{r:>4} {imp:>12.3f} {emd:>8.3f}")
+
+
+def test_tradeoff_front(benchmark, bundle, config):
+    def run():
+        runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+        return runner.run(paper_strategies()).summaries()
+
+    summaries = run_once(benchmark, run)
+    front = pareto_front(summaries)
+    knee = knee_point(summaries)
+    print()
+    print("Three-dimensional trade-off analysis:")
+    print("  Pareto-viable strategies:", ", ".join(p.strategy for p in front))
+    print(f"  knee point: {knee.strategy} "
+          f"(improvement {knee.improvement:.2f}, EMD {knee.distortion:.3f})")

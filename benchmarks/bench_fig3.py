@@ -1,0 +1,35 @@
+"""Figure 3 — time series of glitch counts by type, pooled over runs.
+
+Paper: counts of missing / inconsistent / outlier records at each time step,
+aggregated over 50 runs of 100 sampled series (~5000 records per step), with
+visible bursts and a heavy missing/inconsistent overlap.
+
+Expected shape: all three series fluctuate with common surges (network-wide
+events), and the missing and inconsistent counts track each other closely
+(record-level Jaccard overlap well above chance).
+"""
+
+from repro.experiments.paper import figure3_counts
+from repro.experiments.report import render_counts_series
+from repro.glitches.patterns import jaccard_overlap
+from repro.glitches.types import DatasetGlitches, GlitchType
+
+from conftest import run_once
+
+
+def test_figure3(benchmark, bundle, config):
+    def run():
+        return figure3_counts(
+            bundle,
+            n_replications=config.n_replications,
+            sample_size=config.sample_size,
+            seed=0,
+        )
+
+    counts = run_once(benchmark, run)
+    print()
+    print(render_counts_series(counts, stride=10, title="Figure 3: glitch counts over time"))
+    # Overlap summary (the paper's 'considerable overlap' observation).
+    glitches = bundle.suite.annotate_dataset(bundle.dirty)
+    j = jaccard_overlap(glitches, GlitchType.MISSING, GlitchType.INCONSISTENT)
+    print(f"missing/inconsistent record-level Jaccard overlap: {j:.3f}")

@@ -1,0 +1,44 @@
+"""Figure 6 — statistical distortion vs glitch improvement, five strategies.
+
+Paper panels: (a) B=100 with log(attr1); (b) B=100 without; (c) B=500 with
+log. Expected shape, all panels:
+
+* improvement: S5 ~= S1 > S4 > S2, S3 lowest-to-middle (higher under log);
+* distortion: mean-replacement family (S4/S5) below the MVN-imputation
+  family (S2/S1); Winsorize-only (S3) at the bottom;
+* panel (c): clusters tighten (per-100-series axes shared with panel a).
+"""
+
+from repro.experiments.paper import run_figure6
+from repro.experiments.report import render_strategy_summaries
+
+from conftest import run_once
+
+
+def test_figure6a_log(benchmark, bundle, config):
+    result = run_once(benchmark, lambda: run_figure6(bundle, config))
+    print()
+    print(render_strategy_summaries(
+        result.summaries(),
+        title=f"Figure 6(a): B={config.sample_size}, log(attr1)",
+    ))
+
+
+def test_figure6b_no_log(benchmark, bundle, config):
+    cfg = config.variant(log_transform=False)
+    result = run_once(benchmark, lambda: run_figure6(bundle, cfg))
+    print()
+    print(render_strategy_summaries(
+        result.summaries(),
+        title=f"Figure 6(b): B={cfg.sample_size}, no log",
+    ))
+
+
+def test_figure6c_large_sample(benchmark, bundle, config):
+    cfg = config.variant(sample_size=5 * config.sample_size)
+    result = run_once(benchmark, lambda: run_figure6(bundle, cfg))
+    print()
+    print(render_strategy_summaries(
+        result.summaries(),
+        title=f"Figure 6(c): B={cfg.sample_size}, log(attr1)",
+    ))

@@ -1,0 +1,41 @@
+"""Figure 7 — the cost of cleaning: Strategy 1 on 100/50/20/0% of the data.
+
+Paper: both improvement and distortion grow with the fraction cleaned; the
+0% point is the origin; gains taper — "cleaning more than 50% of the data
+results in relatively small changes in statistical distortion and glitch
+score" (Section 5.6).
+"""
+
+from repro.experiments.paper import run_figure7
+from repro.experiments.report import render_cost_summary
+
+from conftest import run_once
+
+
+def test_figure7a_log(benchmark, bundle, config):
+    sweep = run_once(benchmark, lambda: run_figure7(bundle, config))
+    print()
+    print(render_cost_summary(
+        sweep, title=f"Figure 7(a): B={config.sample_size}, log(attr1)"
+    ))
+    print("marginal gains (fraction, d_improvement, d_distortion):")
+    for f, di, dd in sweep.marginal_gains():
+        print(f"  up to {f:>4.0%}: +{di:.3f} improvement, +{dd:.3f} EMD")
+
+
+def test_figure7b_no_log(benchmark, bundle, config):
+    cfg = config.variant(log_transform=False)
+    sweep = run_once(benchmark, lambda: run_figure7(bundle, cfg))
+    print()
+    print(render_cost_summary(
+        sweep, title=f"Figure 7(b): B={cfg.sample_size}, no log"
+    ))
+
+
+def test_figure7c_large_sample(benchmark, bundle, config):
+    cfg = config.variant(sample_size=5 * config.sample_size)
+    sweep = run_once(benchmark, lambda: run_figure7(bundle, cfg))
+    print()
+    print(render_cost_summary(
+        sweep, title=f"Figure 7(c): B={cfg.sample_size}, log(attr1)"
+    ))

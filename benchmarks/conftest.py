@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+The population scale is controlled by the ``REPRO_SCALE`` environment
+variable (``tiny`` / ``small`` / ``paper``), defaulting to ``small``:
+600 series of length 170, R = 10 replications of B = 40 series. The ``paper``
+preset regenerates the full 20,000-series / R = 50 / B = 100 experiments.
+
+Every bench prints the table/series it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import build_population, experiment_config, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env(default="small")
+
+
+@pytest.fixture(scope="session")
+def bundle(scale):
+    return build_population(scale=scale, seed=0)
+
+
+@pytest.fixture(scope="session")
+def config(scale):
+    return experiment_config(scale, log_transform=True, seed=0)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Figure 1 re-enacted: blind Winsorization on a bimodal distribution.
+
+The paper opens with a schematic: a 3-sigma rule designed for a symmetric
+unimodal distribution is applied to data with a legitimate low-density second
+mode. The rule (1) flags legitimate extreme values (errors of commission),
+(2) misses the suspicious in-between values (errors of omission), and
+(3) piles clipped mass right next to the suspicious region, making the data
+distributionally *dirtier*. This script makes those three effects numeric.
+
+Run:  python examples/blind_winsorization.py
+"""
+
+import numpy as np
+
+from repro.distance.emd import emd_1d
+from repro.stats.descriptive import sigma_limits, winsorize_array
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # The real process: a main mode plus a legitimate high-activity mode.
+    main_mode = rng.normal(0.0, 1.0, 9_000)
+    high_mode = rng.normal(7.0, 0.6, 800)
+    # Suspicious values in the low-density valley (e.g. data-entry errors).
+    suspicious = rng.uniform(3.5, 5.0, 200)
+    data = np.concatenate([main_mode, high_mode, suspicious])
+
+    # The blind rule: 3-sigma limits assuming one symmetric mode.
+    lo, hi = sigma_limits(data, k=3.0)
+    print(f"blind 3-sigma limits: [{lo:.2f}, {hi:.2f}]")
+
+    cleaned, changed = winsorize_array(data, lo, hi)
+
+    is_high_mode = np.zeros(data.size, bool)
+    is_high_mode[9_000:9_800] = True
+    is_suspicious = np.zeros(data.size, bool)
+    is_suspicious[9_800:] = True
+
+    commission = int((changed & is_high_mode).sum())
+    omission = int((~changed & is_suspicious).sum())
+    print(
+        f"errors of commission: {commission}/{is_high_mode.sum()} legitimate "
+        "high-mode values were altered"
+    )
+    print(
+        f"errors of omission:   {omission}/{is_suspicious.sum()} suspicious "
+        "valley values were untouched"
+    )
+
+    # Where did the clipped mass land? Right at the edge of the valley.
+    landed = cleaned[changed & is_high_mode]
+    if landed.size:
+        print(
+            f"clipped legitimate values now sit at {landed.min():.2f}"
+            f"..{landed.max():.2f} — adjacent to the suspicious region "
+            f"({3.5:.1f}..{5.0:.1f})"
+        )
+
+    distortion = emd_1d(data, cleaned)
+    print(f"\nstatistical distortion of the blind repair (1-D EMD): {distortion:.3f}")
+    target_only = np.where(is_suspicious, np.nan, data)
+    ideal_fix = np.where(
+        is_suspicious, np.nanmedian(target_only), data
+    )
+    print(
+        f"distortion of repairing only the suspicious values:      "
+        f"{emd_1d(data, ideal_fix):.3f}"
+    )
+    print(
+        "\nthe blind rule distorts the data far more than a targeted repair —"
+        "\nwhile also *adding* glitches. Cleaner is not the same as better."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Figure 2 re-enacted: three strategies under one budget.
+
+The paper's budget story: for a fixed spend $K a user can (a) mean-impute
+100% of the glitches (cheap, fully "clean", heavily distorted), (b) simulate
+the distribution for ~40% of them (moderate), or (c) re-measure ~30% of them
+exactly (expensive per glitch, nearly undistorted). The right choice depends
+on whether the mandate is "no missing values" or "keep the distribution".
+
+Run:  python examples/budget_tradeoff.py
+"""
+
+from repro import (
+    CompositeStrategy,
+    MeanImputation,
+    MvnImputation,
+    RemeasureStrategy,
+    build_population,
+    experiment_config,
+    render_strategy_summaries,
+)
+from repro.cleaning.partial import PartialCleaner
+from repro.core.framework import ExperimentRunner
+
+
+def main() -> None:
+    bundle = build_population(scale="small", seed=4)
+    config = experiment_config("small", log_transform=True)
+
+    # One budget, three ways to spend it. Coverages mirror Figure 2:
+    # cheap covers 100%, model-based 40%, re-measurement 30%.
+    cheap = PartialCleaner(
+        CompositeStrategy("mean-impute", mi_treatment=MeanImputation()),
+        fraction=1.0,
+    )
+    cheap.name = "cheap: mean @100%"
+    medium = PartialCleaner(
+        CompositeStrategy("mvn-impute", mi_treatment=MvnImputation()),
+        fraction=0.4,
+    )
+    medium.name = "medium: simulate @40%"
+    expensive = PartialCleaner(RemeasureStrategy(coverage=1.0), fraction=0.3)
+    expensive.name = "expensive: re-measure @30%"
+
+    runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+    result = runner.run([cheap, medium, expensive])
+
+    print(render_strategy_summaries(
+        result.summaries(), title="Figure 2's budget trade-off, measured"
+    ))
+
+    s = {x.strategy: x for x in result.summaries()}
+    cheap_s = s["cheap: mean @100%"]
+    medium_s = s["medium: simulate @40%"]
+    oracle_s = s["expensive: re-measure @30%"]
+    print(
+        "\nthe cheap strategy removes the most weighted glitches "
+        f"({cheap_s.improvement_mean:.2f}, all of them are treated) at "
+        f"distortion {cheap_s.distortion_mean:.3f};"
+    )
+    print(
+        "the model-based option covers only 40% yet distorts "
+        f"{medium_s.distortion_mean:.3f} — the paper's surprise finding that "
+        "a sophisticated method with wrong assumptions loses to a simple one;"
+    )
+    print(
+        "re-measurement cleans least "
+        f"({oracle_s.improvement_mean:.2f}) at almost no distortion "
+        f"({oracle_s.distortion_mean:.3f})."
+    )
+    print(
+        "\na 'no missing values' mandate forces the cheap strategy; a "
+        "'represent the process' mandate forces the expensive one —\n"
+        "exactly the paper's point: the metric cannot choose for you, but it "
+        "shows you the price."
+    )
+
+
+if __name__ == "__main__":
+    main()

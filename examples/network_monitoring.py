@@ -1,0 +1,93 @@
+"""Network-monitoring walkthrough: detection, scoring and glitch analytics.
+
+The scenario the paper's introduction motivates: a stream of per-antenna
+measurements arrives with missing values, constraint violations and
+anomalies. This example goes through the detection substrate step by step —
+constraints, 3-sigma limits, glitch bit matrices, the weighted glitch index,
+co-occurrence patterns and the Figure 3 count series.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import numpy as np
+
+from repro import GlitchType, build_population
+from repro.core.glitch_index import GlitchWeights, series_glitch_scores
+from repro.glitches.detectors import DetectorSuite, ScaleTransform
+from repro.glitches.outliers import WindowedOutlierDetector
+from repro.glitches.patterns import (
+    cooccurrence_matrix,
+    counts_over_time,
+    jaccard_overlap,
+    pattern_frequencies,
+    temporal_autocorrelation,
+)
+
+
+def main() -> None:
+    bundle = build_population(scale="small", seed=1)
+    dirty = bundle.dirty
+    suite = bundle.suite
+
+    # -- the rules and limits in play -------------------------------------
+    print("inconsistency constraints (Section 4.1):")
+    for rule in suite.constraints.describe():
+        print(f"  - {rule}")
+    print("\n3-sigma limits fitted on the ideal data:")
+    for attr, (lo, hi) in suite.outlier_detector.limits.items():
+        print(f"  {attr}: [{lo:.3f}, {hi:.3f}]")
+
+    # -- annotate and score -------------------------------------------------
+    glitches = suite.annotate_dataset(dirty)
+    fractions = glitches.record_fractions()
+    print("\nrecord-level glitch rates of the dirty population:")
+    for g in GlitchType:
+        print(f"  {g.label:<13} {fractions[g]:6.1%}")
+
+    scores = series_glitch_scores(glitches, GlitchWeights())
+    worst = np.argsort(-scores)[:5]
+    print("\nfive dirtiest series by normalised weighted glitch score:")
+    for i in worst:
+        print(f"  {dirty[int(i)].node}  score={scores[i]:.3f}")
+
+    # -- co-occurrence structure (Figure 3's observation) --------------------
+    print("\nrecord-level co-occurrence counts (m x m):")
+    print(cooccurrence_matrix(glitches))
+    overlap = jaccard_overlap(glitches, GlitchType.MISSING, GlitchType.INCONSISTENT)
+    print(f"missing/inconsistent Jaccard overlap: {overlap:.2f}")
+    patterns = pattern_frequencies(glitches)
+    top = sorted(patterns.items(), key=lambda kv: -kv[1])[:4]
+    print("most frequent record-level patterns (missing, inconsistent, outlier):")
+    for bits, count in top:
+        print(f"  {bits}: {count}")
+
+    # -- temporal structure ----------------------------------------------------
+    acf = temporal_autocorrelation(glitches, GlitchType.MISSING, max_lag=5)
+    print(f"\nmissing-indicator autocorrelation, lags 1-5: {np.round(acf, 3)}")
+    counts = counts_over_time(glitches)
+    print(f"peak simultaneous missing records: {counts[:, 0].max()} "
+          f"(median {int(np.median(counts[:, 0]))}) — network-wide events")
+
+    # -- alternative detectors ---------------------------------------------------
+    series = dirty[int(worst[0])]
+    windowed = WindowedOutlierDetector(window=24, k=3.0)
+    flagged = windowed.detect(series)
+    baseline = suite.annotate(series).plane(GlitchType.OUTLIER)
+    print(
+        f"\nwindowed self-history detector on {series.node}: "
+        f"{flagged.sum()} cells vs {baseline.sum()} for the ideal-limit rule"
+    )
+
+    # -- the log-scale factor ------------------------------------------------------
+    log_suite = DetectorSuite.from_ideal(
+        bundle.ideal, transform=ScaleTransform.log_attr1()
+    )
+    log_rate = log_suite.annotate_dataset(dirty).record_fraction(GlitchType.OUTLIER)
+    print(
+        f"\noutlier rate raw scale {fractions[GlitchType.OUTLIER]:.1%} vs "
+        f"log scale {log_rate:.1%} — the Table 1 asymmetry"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Data-cleaning strategies (Section 5.1 of the paper).
+
+Every strategy is a :class:`~repro.cleaning.base.CleaningStrategy` operating
+on a whole replication sample (a :class:`~repro.data.dataset.StreamDataset`)
+given a :class:`~repro.cleaning.base.CleaningContext` holding the ideal
+sample, the analysis-scale transform, and the inconsistency constraints.
+
+The paper's five strategies are compositions of a missing/inconsistent
+treatment and an outlier treatment; :mod:`repro.cleaning.registry` builds
+them by name.
+"""
+
+from repro.cleaning.base import (
+    CleaningContext,
+    CleaningStrategy,
+    CompositeStrategy,
+    IdentityStrategy,
+)
+from repro.cleaning.interpolation import InterpolationImputation
+from repro.cleaning.mean_imputation import MeanImputation
+from repro.cleaning.mvn_imputation import MvnEmEstimate, MvnImputation, fit_mvn_em
+from repro.cleaning.partial import PartialCleaner
+from repro.cleaning.regression_imputation import RegressionImputation
+from repro.cleaning.remeasure import RemeasureStrategy
+from repro.cleaning.registry import paper_strategies, strategy_by_name
+from repro.cleaning.winsorize import WinsorizeOutliers
+
+__all__ = [
+    "CleaningContext",
+    "CleaningStrategy",
+    "CompositeStrategy",
+    "IdentityStrategy",
+    "WinsorizeOutliers",
+    "MeanImputation",
+    "MvnImputation",
+    "MvnEmEstimate",
+    "fit_mvn_em",
+    "InterpolationImputation",
+    "RegressionImputation",
+    "RemeasureStrategy",
+    "PartialCleaner",
+    "paper_strategies",
+    "strategy_by_name",
+]

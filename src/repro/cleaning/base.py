@@ -1,0 +1,233 @@
+"""Strategy protocol, cleaning context, and composition.
+
+The paper's strategies (Section 5.1) pair a treatment for missing and
+inconsistent values with a treatment for outliers:
+
+========  ==============================  =========================
+Strategy  missing + inconsistent          outliers
+========  ==============================  =========================
+S1        MVN multiple imputation (MI)    Winsorization
+S2        MVN multiple imputation (MI)    ignored
+S3        ignored                         Winsorization
+S4        ideal-mean replacement          ignored
+S5        ideal-mean replacement          Winsorization
+========  ==============================  =========================
+
+:class:`CompositeStrategy` realises that table. Outlier repair runs *first*
+on the dirty values (the paper's Figure 4 shows imputed values that escaped
+Winsorization, so imputation cannot precede it), then the
+missing/inconsistent treatment fills the gaps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+from repro.errors import CleaningError
+from repro.glitches.constraints import ConstraintSet, paper_constraints
+from repro.glitches.detectors import ScaleTransform
+from repro.glitches.outliers import SigmaLimits
+from repro.utils.rng import Seed, as_generator
+
+__all__ = [
+    "CleaningContext",
+    "CleaningStrategy",
+    "MissingInconsistentTreatment",
+    "OutlierTreatment",
+    "CompositeStrategy",
+    "IdentityStrategy",
+]
+
+
+@dataclass
+class CleaningContext:
+    """Everything a strategy may consult while cleaning one sample.
+
+    Parameters
+    ----------
+    ideal:
+        The ideal replication sample ``DiI`` (raw scale). Supplies the
+        3-sigma limits (on the analysis scale) and the replacement means.
+    transform:
+        Optional analysis-scale transform (the log-attr1 factor). ``None``
+        means the raw scale is the analysis scale.
+    constraints:
+        Inconsistency rules; defaults to the paper's three.
+    sigma_k:
+        Width of the sigma limits (3.0 in the paper).
+    seed:
+        Seed/generator for stochastic treatments (MVN imputation draws).
+    """
+
+    ideal: StreamDataset
+    transform: Optional[ScaleTransform] = None
+    constraints: ConstraintSet = field(default_factory=paper_constraints)
+    sigma_k: float = 3.0
+    seed: Seed = None
+
+    def __post_init__(self) -> None:
+        self.rng = as_generator(self.seed)
+
+    # -- derived, lazily computed ----------------------------------------------
+
+    @cached_property
+    def limits(self) -> SigmaLimits:
+        """Per-attribute sigma limits on the analysis scale, from the ideal sample.
+
+        The sampling variability of these limits across replications is real
+        and intended — the paper points to it in Figure 4.
+        """
+        scaled = (
+            self.transform.apply_dataset(self.ideal) if self.transform else self.ideal
+        )
+        return SigmaLimits.from_dataset(scaled, k=self.sigma_k)
+
+    @cached_property
+    def ideal_means(self) -> dict[str, float]:
+        """Raw-scale attribute means of the ideal sample."""
+        return {
+            attr: float(np.mean(self.ideal.pooled_column(attr, dropna=True)))
+            for attr in self.ideal.attributes
+        }
+
+    @cached_property
+    def analysis_means(self) -> dict[str, float]:
+        """Analysis-scale attribute means of the ideal sample (Strategy 4/5).
+
+        "The mean of the attribute computed from the ideal data set"
+        (Section 5.1) is taken on the scale the experiment analyses: under
+        the log factor, the replacement constant for Attribute 1 is the mean
+        of ``log(attr1)`` (i.e. the geometric mean on the raw scale), which
+        keeps the replacement spike at the centre of the analysed bulk.
+        """
+        scaled = (
+            self.transform.apply_dataset(self.ideal) if self.transform else self.ideal
+        )
+        return {
+            attr: float(np.mean(scaled.pooled_column(attr, dropna=True)))
+            for attr in scaled.attributes
+        }
+
+    # -- masks -------------------------------------------------------------------
+
+    def treatable_mask(self, series: TimeSeries) -> np.ndarray:
+        """``(T, v)`` cells that a missing/inconsistent treatment must fill.
+
+        Missing cells plus constraint-violating cells: the paper's strategies
+        "impute values to missing and inconsistent data" as one family.
+        """
+        return np.isnan(series.values) | self.constraints.evaluate(series)
+
+    def to_analysis(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
+        """Raw ``(T, v)`` values -> analysis scale (identity without transform)."""
+        if self.transform is None:
+            return np.asarray(values, dtype=float).copy()
+        return self.transform.forward_values(values, attributes)
+
+    def from_analysis(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
+        """Analysis-scale ``(T, v)`` values -> raw scale."""
+        if self.transform is None:
+            return np.asarray(values, dtype=float).copy()
+        return self.transform.inverse_values(values, attributes)
+
+
+class CleaningStrategy(ABC):
+    """A cleaning strategy ``C`` mapping ``Di`` to ``DiC`` (Definition 1)."""
+
+    #: Identifier used in results and reports.
+    name: str = "strategy"
+
+    @abstractmethod
+    def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        """Return the treated copy of *sample*. The input is never mutated."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class MissingInconsistentTreatment(ABC):
+    """Treatment filling missing/inconsistent cells of a whole sample.
+
+    Sample-level (not per-series) because model-based imputation pools all
+    series of the replication to fit its joint model.
+    """
+
+    name: str = "mi_treatment"
+
+    @abstractmethod
+    def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        """Return a copy of *sample* with treatable cells filled."""
+
+
+class OutlierTreatment(ABC):
+    """Treatment repairing outlying cells of a whole sample."""
+
+    name: str = "outlier_treatment"
+
+    @abstractmethod
+    def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        """Return a copy of *sample* with outlier cells repaired."""
+
+
+class CompositeStrategy(CleaningStrategy):
+    """Missing/inconsistent treatment followed by outlier repair.
+
+    Either component may be ``None`` (the paper's "ignores outliers" /
+    "ignores missing and inconsistent values" strategies).
+
+    The order is dictated by the paper's Table 1: strategies that Winsorize
+    leave *exactly zero* treated outliers, so outlier repair must run last,
+    over imputed values too. Negative raw-scale imputations still survive
+    (Figure 4a) because the raw lower 3-sigma limit of a heavy-right-tailed
+    attribute is itself far below zero, and Attribute 3 imputations slightly
+    above 1 survive as new inconsistencies (Figure 5) because the upper limit
+    sits above 1 — Winsorization only knows about sigma limits, not about
+    semantic constraints.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mi_treatment: Optional[MissingInconsistentTreatment] = None,
+        outlier_treatment: Optional[OutlierTreatment] = None,
+    ):
+        if mi_treatment is None and outlier_treatment is None:
+            raise CleaningError(
+                "CompositeStrategy needs at least one treatment; "
+                "use IdentityStrategy for a no-op"
+            )
+        self.name = name
+        self.mi_treatment = mi_treatment
+        self.outlier_treatment = outlier_treatment
+
+    def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        treated = sample
+        if self.mi_treatment is not None:
+            treated = self.mi_treatment.apply(treated, context)
+        if self.outlier_treatment is not None:
+            treated = self.outlier_treatment.apply(treated, context)
+        if treated is sample:  # both components declined to copy
+            treated = sample.copy()
+        return treated
+
+    def describe(self) -> str:
+        """Human-readable composition summary."""
+        mi = self.mi_treatment.name if self.mi_treatment else "ignore"
+        out = self.outlier_treatment.name if self.outlier_treatment else "ignore"
+        return f"missing/inconsistent: {mi}; outliers: {out}"
+
+
+class IdentityStrategy(CleaningStrategy):
+    """The do-nothing strategy — the 0%-cleaned anchor of Figure 7."""
+
+    name = "identity"
+
+    def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        return sample.copy()

@@ -1,0 +1,61 @@
+"""Time-series interpolation imputation (extension strategy).
+
+Not one of the paper's five strategies, but the natural structure-aware
+middle ground its future-work section gestures at ("cleaning algorithms that
+make use of the correlated data cost less and perform better"): fill missing
+and inconsistent cells by linear interpolation along each series' own time
+axis, exploiting exactly the temporal structure the whole-series sampling
+scheme preserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning.base import CleaningContext, MissingInconsistentTreatment
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+
+__all__ = ["InterpolationImputation"]
+
+
+def _interpolate_column(col: np.ndarray, gaps: np.ndarray) -> np.ndarray:
+    """Linearly interpolate *gaps* from the non-gap entries of *col*.
+
+    Leading/trailing gaps take the nearest valid value; a column with no
+    valid entries is returned unchanged (left for a fallback treatment).
+    """
+    out = col.copy()
+    valid = ~gaps & np.isfinite(col)
+    if not valid.any():
+        return out
+    t = np.arange(col.size)
+    out[gaps] = np.interp(t[gaps], t[valid], col[valid])
+    return out
+
+
+class InterpolationImputation(MissingInconsistentTreatment):
+    """Fill treatable cells by per-attribute linear interpolation in time."""
+
+    name = "interpolation"
+
+    def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        means = context.ideal_means
+        attributes = sample.attributes
+
+        def treat(series: TimeSeries) -> TimeSeries:
+            mask = context.treatable_mask(series)
+            if not mask.any():
+                return series.copy()
+            values = series.values.copy()
+            for j, attr in enumerate(attributes):
+                gaps = mask[:, j]
+                if not gaps.any():
+                    continue
+                col = _interpolate_column(values[:, j], gaps)
+                still_bad = gaps & ~np.isfinite(col)
+                col[still_bad] = means[attr]
+                values[:, j] = col
+            return series.with_values(values)
+
+        return sample.map(treat)

@@ -1,0 +1,47 @@
+"""Ideal-mean replacement — the cheap imputation of Strategies 4 and 5.
+
+Section 5.1: "Strategy 4 ... treats missing and inconsistent values by
+replacing them with the mean of the attribute computed from the ideal data
+set." The replacement constant is the *analysis-scale* mean of the ideal
+replication sample ``DiI`` (the mean of ``log(attr1)`` under the log factor),
+mapped back to the raw scale — so it is always a legitimate central value.
+That is exactly why this simple strategy wins on new-glitch counts (Table 1
+shows zero treated missing/inconsistent for Strategies 4/5) while still
+distorting the distribution with a density spike (Figure 2's discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning.base import CleaningContext, MissingInconsistentTreatment
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+
+__all__ = ["MeanImputation"]
+
+
+class MeanImputation(MissingInconsistentTreatment):
+    """Replace missing and inconsistent cells with the ideal-sample mean."""
+
+    name = "mean"
+
+    def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        means = context.analysis_means
+        attributes = sample.attributes
+        # Materialise the analysis-scale constants back on the raw scale once.
+        template = np.array([[means[attr] for attr in attributes]])
+        raw_constants = context.from_analysis(template, attributes)[0]
+
+        def treat(series: TimeSeries) -> TimeSeries:
+            mask = context.treatable_mask(series)
+            if not mask.any():
+                return series.copy()
+            values = series.values.copy()
+            for j in range(len(attributes)):
+                col_mask = mask[:, j]
+                if col_mask.any():
+                    values[col_mask, j] = raw_constants[j]
+            return series.with_values(values)
+
+        return sample.map(treat)

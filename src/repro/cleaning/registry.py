@@ -1,0 +1,88 @@
+"""Named construction of the paper's five strategies (Section 5.1).
+
+* **Strategy 1** — MVN imputation for missing/inconsistent + Winsorization.
+* **Strategy 2** — MVN imputation only (outliers ignored).
+* **Strategy 3** — Winsorization only (missing/inconsistent ignored).
+* **Strategy 4** — ideal-mean replacement only (outliers ignored).
+* **Strategy 5** — ideal-mean replacement + Winsorization.
+
+Plot-legend aliases from Figure 6 are also accepted ("impute only",
+"winsorize only", ...).
+"""
+
+from __future__ import annotations
+
+from repro.cleaning.base import CleaningStrategy, CompositeStrategy
+from repro.cleaning.interpolation import InterpolationImputation
+from repro.cleaning.mean_imputation import MeanImputation
+from repro.cleaning.mvn_imputation import MvnImputation
+from repro.cleaning.regression_imputation import RegressionImputation
+from repro.cleaning.winsorize import WinsorizeOutliers
+from repro.errors import CleaningError
+
+__all__ = ["paper_strategies", "strategy_by_name", "STRATEGY_LABELS"]
+
+#: Figure 6 legend labels, keyed by canonical strategy name.
+STRATEGY_LABELS = {
+    "strategy1": "Winsorize and impute",
+    "strategy2": "Impute only",
+    "strategy3": "Winsorize only",
+    "strategy4": "Replace with mean",
+    "strategy5": "Winsorize and replace with mean",
+}
+
+_ALIASES = {
+    "winsorize and impute": "strategy1",
+    "impute only": "strategy2",
+    "winsorize only": "strategy3",
+    "replace with mean": "strategy4",
+    "winsorize and replace with mean": "strategy5",
+    "s1": "strategy1",
+    "s2": "strategy2",
+    "s3": "strategy3",
+    "s4": "strategy4",
+    "s5": "strategy5",
+}
+
+
+def _build(canonical: str) -> CleaningStrategy:
+    if canonical == "strategy1":
+        return CompositeStrategy(
+            "strategy1",
+            mi_treatment=MvnImputation(),
+            outlier_treatment=WinsorizeOutliers(),
+        )
+    if canonical == "strategy2":
+        return CompositeStrategy("strategy2", mi_treatment=MvnImputation())
+    if canonical == "strategy3":
+        return CompositeStrategy("strategy3", outlier_treatment=WinsorizeOutliers())
+    if canonical == "strategy4":
+        return CompositeStrategy("strategy4", mi_treatment=MeanImputation())
+    if canonical == "strategy5":
+        return CompositeStrategy(
+            "strategy5",
+            mi_treatment=MeanImputation(),
+            outlier_treatment=WinsorizeOutliers(),
+        )
+    if canonical == "interpolate":
+        return CompositeStrategy("interpolate", mi_treatment=InterpolationImputation())
+    if canonical == "interpolate+winsorize":
+        return CompositeStrategy(
+            "interpolate+winsorize",
+            mi_treatment=InterpolationImputation(),
+            outlier_treatment=WinsorizeOutliers(),
+        )
+    if canonical == "regression":
+        return CompositeStrategy("regression", mi_treatment=RegressionImputation())
+    raise CleaningError(f"unknown strategy {canonical!r}")
+
+
+def strategy_by_name(name: str) -> CleaningStrategy:
+    """Build one strategy by canonical name, alias, or Figure 6 legend label."""
+    canonical = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    return _build(canonical)
+
+
+def paper_strategies() -> list[CleaningStrategy]:
+    """The paper's five strategies, in order."""
+    return [strategy_by_name(f"strategy{i}") for i in range(1, 6)]

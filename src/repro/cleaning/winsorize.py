@@ -1,0 +1,54 @@
+"""Winsorization — the paper's outlier repair.
+
+Section 1.1: "repair the outliers by setting them to the closest acceptable
+value, a process known as Winsorization in statistics." Detection and repair
+use the same 3-sigma limits computed from the ideal replication sample on the
+analysis scale (Section 4.1 / Figure 4); repaired values are mapped back to
+the raw scale through the transform's inverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning.base import CleaningContext, OutlierTreatment
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+
+__all__ = ["WinsorizeOutliers"]
+
+
+class WinsorizeOutliers(OutlierTreatment):
+    """Clip cells outside the per-attribute sigma limits to the nearest limit.
+
+    NaN (missing) cells pass through untouched — they belong to the
+    missing/inconsistent treatment. Cells that are NaN *on the analysis
+    scale only* (e.g. the log of a negative value) also pass through: they
+    are inconsistencies, not outliers.
+    """
+
+    name = "winsorize"
+
+    def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
+        limits = context.limits
+        attributes = sample.attributes
+
+        def treat(series: TimeSeries) -> TimeSeries:
+            analysis = context.to_analysis(series.values, attributes)
+            raw = series.values.copy()
+            for j, attr in enumerate(attributes):
+                if attr not in limits:
+                    continue
+                lo, hi = limits.bounds(attr)
+                col = analysis[:, j]
+                with np.errstate(invalid="ignore"):
+                    outlying = np.isfinite(col) & ((col < lo) | (col > hi))
+                if not outlying.any():
+                    continue
+                clipped = analysis.copy()
+                clipped[outlying, j] = np.clip(col[outlying], lo, hi)
+                repaired_raw = context.from_analysis(clipped, attributes)
+                raw[outlying, j] = repaired_raw[outlying, j]
+            return series.with_values(raw)
+
+        return sample.map(treat)

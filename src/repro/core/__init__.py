@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the three-dimensional data-quality
+metric (glitch improvement, statistical distortion, cost) and the
+sampling-based experimental framework that evaluates cleaning strategies
+along those axes.
+"""
+
+from repro.core.cost import CostSweepResult, cost_sweep
+from repro.core.distortion import statistical_distortion
+from repro.core.evaluation import (
+    StrategyOutcome,
+    StrategySummary,
+    glitch_fraction_table,
+    summarize_outcomes,
+)
+from repro.core.framework import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.core.glitch_index import (
+    GlitchWeights,
+    glitch_improvement,
+    glitch_index,
+    series_glitch_scores,
+)
+from repro.core.tradeoff import TradeoffPoint, knee_point, pareto_front, viable_strategies
+
+__all__ = [
+    "GlitchWeights",
+    "glitch_index",
+    "glitch_improvement",
+    "series_glitch_scores",
+    "statistical_distortion",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "StrategyOutcome",
+    "StrategySummary",
+    "summarize_outcomes",
+    "glitch_fraction_table",
+    "cost_sweep",
+    "CostSweepResult",
+    "TradeoffPoint",
+    "pareto_front",
+    "knee_point",
+    "viable_strategies",
+]

@@ -1,0 +1,135 @@
+"""Cost-of-cleaning sweeps (Sections 5.2 and 5.6, Figure 7).
+
+The cost proxy is the proportion of series cleaned: the sweep wraps one
+strategy in :class:`~repro.cleaning.partial.PartialCleaner` at each fraction
+and reuses the experiment runner, so every fraction sees the *same*
+replication pairs (the seeds are shared) and points are comparable across
+fractions, exactly like the paper's overlaid scatter plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cleaning.base import CleaningStrategy
+from repro.core.evaluation import StrategyOutcome, StrategySummary
+from repro.core.framework import ExperimentRunner
+from repro.errors import ExperimentError
+from repro.glitches.types import GlitchType
+from repro.utils.validation import check_fraction
+
+__all__ = ["CostSweepResult", "cost_sweep", "PAPER_COST_FRACTIONS"]
+
+#: The paper's Figure 7 sweep: complete, 50%, 20% and no cleaning.
+PAPER_COST_FRACTIONS = (1.0, 0.5, 0.2, 0.0)
+
+
+@dataclass
+class CostSweepResult:
+    """Outcomes of one strategy swept over cleaning fractions."""
+
+    strategy: str
+    fractions: tuple[float, ...]
+    outcomes: list[StrategyOutcome] = field(default_factory=list)
+
+    def at_fraction(self, fraction: float) -> list[StrategyOutcome]:
+        """Outcomes of one sweep point."""
+        return [o for o in self.outcomes if np.isclose(o.cost_fraction, fraction)]
+
+    def summaries(self) -> list[StrategySummary]:
+        """Per-fraction aggregates, ordered like ``fractions``."""
+        summaries = []
+        for f in self.fractions:
+            rows = self.at_fraction(f)
+            if not rows:
+                continue
+            imp = np.array([r.improvement for r in rows])
+            dist = np.array([r.distortion for r in rows])
+            summaries.append(
+                StrategySummary(
+                    strategy=f"{self.strategy}@{int(round(f * 100))}%",
+                    n_replications=len(rows),
+                    improvement_mean=float(imp.mean()),
+                    improvement_std=float(imp.std(ddof=1)) if imp.size > 1 else 0.0,
+                    distortion_mean=float(dist.mean()),
+                    distortion_std=float(dist.std(ddof=1)) if dist.size > 1 else 0.0,
+                    dirty_fractions={
+                        g: float(np.mean([r.dirty_fractions.get(g, 0.0) for r in rows]))
+                        for g in GlitchType
+                    },
+                    treated_fractions={
+                        g: float(
+                            np.mean([r.treated_fractions.get(g, 0.0) for r in rows])
+                        )
+                        for g in GlitchType
+                    },
+                    cost_fraction=f,
+                )
+            )
+        return summaries
+
+    def marginal_gains(self) -> list[tuple[float, float, float]]:
+        """``(fraction, d_improvement, d_distortion)`` between sweep points.
+
+        Sorted by ascending fraction; quantifies the diminishing returns the
+        paper reads off Figure 7 ("cleaning more than 50% of the data results
+        in relatively small changes").
+        """
+        ordered = sorted(self.summaries(), key=lambda s: s.cost_fraction)
+        gains = []
+        for prev, cur in zip(ordered, ordered[1:]):
+            gains.append(
+                (
+                    cur.cost_fraction,
+                    cur.improvement_mean - prev.improvement_mean,
+                    cur.distortion_mean - prev.distortion_mean,
+                )
+            )
+        return gains
+
+
+def cost_sweep(
+    runner: ExperimentRunner,
+    strategy: CleaningStrategy,
+    fractions: Sequence[float] = PAPER_COST_FRACTIONS,
+) -> CostSweepResult:
+    """Evaluate *strategy* at each cleaning fraction.
+
+    Fraction 1.0 applies the strategy unwrapped (identical to a plain run);
+    other fractions clean only the top-x% dirtiest series of each sample.
+    The returned outcomes carry the bare strategy name with ``cost_fraction``
+    holding the sweep coordinate.
+    """
+    # Imported here to keep repro.core importable without triggering the
+    # cleaning package's own import of repro.core.glitch_index.
+    from repro.cleaning.partial import PartialCleaner
+
+    if not fractions:
+        raise ExperimentError("need at least one fraction")
+    fractions = tuple(check_fraction(f, "fraction") for f in fractions)
+    if len(set(fractions)) != len(fractions):
+        raise ExperimentError(f"duplicate fractions: {fractions}")
+    wrapped: list[CleaningStrategy] = [
+        PartialCleaner(strategy, fraction=f) for f in fractions
+    ]
+    result = runner.run(wrapped)
+    relabelled = [
+        StrategyOutcome(
+            strategy=strategy.name,
+            replication=o.replication,
+            improvement=o.improvement,
+            distortion=o.distortion,
+            glitch_index_dirty=o.glitch_index_dirty,
+            glitch_index_treated=o.glitch_index_treated,
+            dirty_fractions=o.dirty_fractions,
+            treated_fractions=o.treated_fractions,
+            cost_fraction=o.cost_fraction,
+        )
+        for o in result.outcomes
+    ]
+    return CostSweepResult(
+        strategy=strategy.name, fractions=fractions, outcomes=relabelled
+    )

@@ -1,0 +1,114 @@
+"""Outcome records and aggregation for strategy evaluation.
+
+One :class:`StrategyOutcome` is one point of Figure 6/7: a (strategy,
+replication) pair with its glitch improvement, statistical distortion, and
+the dirty/treated glitch-rate breakdown that Table 1 averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.glitches.types import GlitchType
+
+__all__ = [
+    "StrategyOutcome",
+    "StrategySummary",
+    "summarize_outcomes",
+    "glitch_fraction_table",
+]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Metrics of one strategy on one replication pair ``(Di, DiC)``."""
+
+    strategy: str
+    replication: int
+    #: ``G(Di) - G(DiC)`` — weighted glitch improvement (x-axis of Fig. 6).
+    improvement: float
+    #: ``d(Di, DiC)`` — statistical distortion (y-axis of Fig. 6).
+    distortion: float
+    #: Glitch index of the dirty sample.
+    glitch_index_dirty: float
+    #: Glitch index of the treated sample.
+    glitch_index_treated: float
+    #: Record-level glitch rates of the dirty sample, by type.
+    dirty_fractions: dict[GlitchType, float] = field(default_factory=dict)
+    #: Record-level glitch rates of the treated sample, by type.
+    treated_fractions: dict[GlitchType, float] = field(default_factory=dict)
+    #: Cost proxy: fraction of series the strategy was applied to.
+    cost_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class StrategySummary:
+    """Across-replication aggregates for one strategy."""
+
+    strategy: str
+    n_replications: int
+    improvement_mean: float
+    improvement_std: float
+    distortion_mean: float
+    distortion_std: float
+    dirty_fractions: dict[GlitchType, float]
+    treated_fractions: dict[GlitchType, float]
+    cost_fraction: float
+
+
+def summarize_outcomes(outcomes: Iterable[StrategyOutcome]) -> list[StrategySummary]:
+    """Aggregate outcomes per strategy (mean/std over replications).
+
+    Strategies are returned in first-appearance order so reports follow the
+    order in which strategies were evaluated.
+    """
+    grouped: dict[str, list[StrategyOutcome]] = {}
+    for outcome in outcomes:
+        grouped.setdefault(outcome.strategy, []).append(outcome)
+    summaries = []
+    for name, rows in grouped.items():
+        imp = np.array([r.improvement for r in rows])
+        dist = np.array([r.distortion for r in rows])
+        dirty = {
+            g: float(np.mean([r.dirty_fractions.get(g, 0.0) for r in rows]))
+            for g in GlitchType
+        }
+        treated = {
+            g: float(np.mean([r.treated_fractions.get(g, 0.0) for r in rows]))
+            for g in GlitchType
+        }
+        summaries.append(
+            StrategySummary(
+                strategy=name,
+                n_replications=len(rows),
+                improvement_mean=float(imp.mean()),
+                improvement_std=float(imp.std(ddof=1)) if imp.size > 1 else 0.0,
+                distortion_mean=float(dist.mean()),
+                distortion_std=float(dist.std(ddof=1)) if dist.size > 1 else 0.0,
+                dirty_fractions=dirty,
+                treated_fractions=treated,
+                cost_fraction=float(np.mean([r.cost_fraction for r in rows])),
+            )
+        )
+    return summaries
+
+
+def glitch_fraction_table(
+    outcomes: Iterable[StrategyOutcome],
+) -> dict[str, dict[str, float]]:
+    """Table 1 rows: mean glitch percentages before and after cleaning.
+
+    Returns ``{strategy: {"missing_dirty": %, ..., "outlier_treated": %}}``
+    with values already scaled to percentages, matching the paper's table.
+    """
+    table: dict[str, dict[str, float]] = {}
+    for summary in summarize_outcomes(outcomes):
+        row: dict[str, float] = {}
+        for g in GlitchType:
+            row[f"{g.label}_dirty"] = 100.0 * summary.dirty_fractions[g]
+            row[f"{g.label}_treated"] = 100.0 * summary.treated_fractions[g]
+        table[summary.strategy] = row
+    return table

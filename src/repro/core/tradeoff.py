@@ -1,0 +1,139 @@
+"""Three-dimensional trade-off analysis: choosing a viable strategy.
+
+The paper's framework "helps the user identify viable data cleaning
+strategies, and choose the most suitable from among them" (Section 2.1) under
+three criteria — glitch improvement (maximise), statistical distortion
+(minimise) and cost (minimise). This module provides the decision-support
+layer: Pareto dominance over the three axes, knee-point selection on the
+improvement/distortion plane (Figure 2's budget story), and constraint-based
+filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import StrategySummary
+from repro.errors import ExperimentError
+
+__all__ = ["TradeoffPoint", "pareto_front", "knee_point", "viable_strategies"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One strategy's coordinates in the three-dimensional metric space."""
+
+    strategy: str
+    improvement: float
+    distortion: float
+    cost: float
+
+    @classmethod
+    def from_summary(cls, summary: StrategySummary) -> "TradeoffPoint":
+        """Project a :class:`StrategySummary` onto the three axes."""
+        return cls(
+            strategy=summary.strategy,
+            improvement=summary.improvement_mean,
+            distortion=summary.distortion_mean,
+            cost=summary.cost_fraction,
+        )
+
+    def dominates(self, other: "TradeoffPoint", tol: float = 1e-12) -> bool:
+        """True if this point is at least as good on all axes and strictly
+        better on one (improvement up, distortion down, cost down)."""
+        at_least = (
+            self.improvement >= other.improvement - tol
+            and self.distortion <= other.distortion + tol
+            and self.cost <= other.cost + tol
+        )
+        strictly = (
+            self.improvement > other.improvement + tol
+            or self.distortion < other.distortion - tol
+            or self.cost < other.cost - tol
+        )
+        return at_least and strictly
+
+
+def _as_points(
+    items: Iterable[StrategySummary | TradeoffPoint],
+) -> list[TradeoffPoint]:
+    points = []
+    for item in items:
+        if isinstance(item, TradeoffPoint):
+            points.append(item)
+        else:
+            points.append(TradeoffPoint.from_summary(item))
+    if not points:
+        raise ExperimentError("need at least one strategy point")
+    return points
+
+
+def pareto_front(
+    items: Iterable[StrategySummary | TradeoffPoint],
+) -> list[TradeoffPoint]:
+    """Non-dominated strategies under the three-dimensional metric.
+
+    These are the *viable* strategies: for any strategy off the front there
+    is another that is no worse on every axis and better on at least one.
+    """
+    points = _as_points(items)
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return front
+
+
+def viable_strategies(
+    items: Iterable[StrategySummary | TradeoffPoint],
+    max_distortion: Optional[float] = None,
+    min_improvement: Optional[float] = None,
+    max_cost: Optional[float] = None,
+) -> list[TradeoffPoint]:
+    """Pareto-front strategies that also satisfy the user's hard limits.
+
+    Mirrors the paper's user stories: "a user who is required by corporate
+    mandate to have no missing values" sets ``min_improvement``; "a user who
+    wishes to capture the underlying distribution" sets ``max_distortion``.
+    """
+    front = pareto_front(items)
+    out = []
+    for p in front:
+        if max_distortion is not None and p.distortion > max_distortion:
+            continue
+        if min_improvement is not None and p.improvement < min_improvement:
+            continue
+        if max_cost is not None and p.cost > max_cost:
+            continue
+        out.append(p)
+    return out
+
+
+def knee_point(
+    items: Iterable[StrategySummary | TradeoffPoint],
+) -> TradeoffPoint:
+    """The knee of the improvement/distortion trade-off.
+
+    Coordinates are min-max normalised; the knee is the point maximising
+    (normalised improvement - normalised distortion) — the strategy buying
+    the most glitch removal per unit of distortion. With a single candidate
+    the candidate is returned.
+    """
+    points = _as_points(items)
+    if len(points) == 1:
+        return points[0]
+    imp = np.array([p.improvement for p in points])
+    dist = np.array([p.distortion for p in points])
+
+    def norm(x: np.ndarray) -> np.ndarray:
+        span = x.max() - x.min()
+        if span == 0:
+            return np.zeros_like(x)
+        return (x - x.min()) / span
+
+    score = norm(imp) - norm(dist)
+    return points[int(np.argmax(score))]

@@ -1,0 +1,27 @@
+"""Hierarchical network data substrate.
+
+The paper's evaluation data are streams collected on a three-level mobility
+network hierarchy: RNC -> cell tower (Node B) -> sector/antenna (Section 3.1).
+This package provides the topology model, the time-series containers, the
+synthetic generator that stands in for the proprietary AT&T feed, and the
+glitch injector that reproduces the paper's glitch mix.
+"""
+
+from repro.data.dataset import StreamDataset
+from repro.data.generator import GeneratorConfig, NetworkDataGenerator
+from repro.data.glitch_injection import GlitchInjectionConfig, GlitchInjector
+from repro.data.stream import TimeSeries
+from repro.data.topology import NetworkTopology, NodeId
+from repro.data.window import WindowHistory
+
+__all__ = [
+    "NodeId",
+    "NetworkTopology",
+    "TimeSeries",
+    "StreamDataset",
+    "WindowHistory",
+    "GeneratorConfig",
+    "NetworkDataGenerator",
+    "GlitchInjectionConfig",
+    "GlitchInjector",
+]

@@ -1,0 +1,396 @@
+"""Glitch injection: layering missing values, inconsistencies and anomalies
+onto clean streams.
+
+The paper observes (Section 4.1 / Figure 3 / Table 1) a glitch mix with:
+
+* roughly 15-16% of records carrying missing values,
+* roughly 15-16% carrying inconsistencies, **heavily overlapping** with the
+  missing values — partly *by construction*, since inconsistency constraint 3
+  ("Attribute 1 should not be populated if Attribute 3 is missing") fires on
+  records where the outage hit Attribute 3 but not Attribute 1,
+* outliers whose detected rate depends on the measurement scale: ~5% of
+  records on the raw scale vs ~17% after the log transform of Attribute 1
+  (Table 1), because low-side anomalies ("dips") are invisible inside the
+  huge raw-scale sigma but stick out on the log scale,
+* temporal clustering (bursts) and network-wide events driven by shared
+  physical causes (Section 6.1).
+
+:class:`GlitchInjector` reproduces all four properties with explicit,
+documented knobs. Injection is *truth-preserving*: each dirty series keeps the
+pre-glitch values in ``TimeSeries.truth`` and the injector returns per-series
+masks of exactly what it did, enabling detector-accuracy tests and oracle
+("re-measure") cleaning strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+from repro.data.topology import NodeId
+from repro.errors import ValidationError
+from repro.utils.rng import Seed, as_generator
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "GlitchInjectionConfig",
+    "SeriesInjection",
+    "InjectionResult",
+    "GlitchInjector",
+]
+
+
+@dataclass(frozen=True)
+class GlitchInjectionConfig:
+    """Knobs of the glitch model. Probabilities are per-record unless noted.
+
+    The defaults are calibrated (see ``tests/test_calibration.py``) so the
+    *dirty partition* of a generated population matches the paper's Table 1
+    glitch mix to within a few percentage points.
+    """
+
+    #: Fraction of series that are "glitchy"; the remainder stay near-clean
+    #: and form the pool from which the ideal data set DI is drawn.
+    glitchy_fraction: float = 0.65
+    #: Log-normal sigma of the per-series glitch-intensity multiplier.
+    intensity_sigma: float = 0.70
+    #: Glitch-rate multiplier applied to healthy (non-glitchy) series.
+    healthy_scale: float = 0.04
+
+    # -- missing-value outages (two-state Markov bursts on attribute 3) -------
+    #: Probability of entering an outage at each step outside one.
+    outage_enter: float = 0.023
+    #: Probability of leaving an outage at each step inside one.
+    outage_exit: float = 0.175
+    #: Probability that attribute 1 (resp. 2) is also lost during an outage
+    #: record. Records where attr3 is lost but attr1 survives violate
+    #: constraint 3 and are the built-in missing/inconsistent overlap.
+    attr1_loss_in_outage: float = 0.45
+    attr2_loss_in_outage: float = 0.70
+    #: Isolated (non-burst) per-cell missingness.
+    isolated_missing: float = 0.004
+
+    # -- inconsistencies (constraint-violating values) -------------------------
+    #: Per-record probability of a negative attribute-1 value (constraint 1).
+    negative_attr1: float = 0.045
+    #: Per-record probability of an out-of-range attribute-3 value
+    #: (constraint 2); split between > 1 and < 0 violations.
+    attr3_out_of_range: float = 0.045
+    attr3_above_one_share: float = 0.7
+
+    # -- anomalies (value-level outliers, injected in short bursts) -----------
+    #: Burst dynamics for anomalies on attribute 1 (and, coupled, attribute 2).
+    anomaly_enter: float = 0.095
+    anomaly_exit: float = 0.50
+    #: Share of anomaly bursts that are dips (low-side). Dips are invisible
+    #: to raw-scale 3-sigma limits but glaring on the log scale — the
+    #: mechanism behind Table 1's 5% vs 17% outlier rates. Spikes are an
+    #: order of magnitude above the bulk (the paper's Figure 4a shows
+    #: winsorized values ~10x the data bulk), so they grossly inflate the
+    #: variance of any Gaussian fitted to the raw scale.
+    dip_share: float = 0.93
+    spike_factor_range: tuple[float, float] = (8.0, 25.0)
+    dip_factor_range: tuple[float, float] = (0.02, 0.09)
+    #: Probability that an attr1 anomaly also hits attr2.
+    attr2_coupling: float = 0.5
+    #: Glitches co-occur (Section 3.2): during an outage record whose attr1
+    #: (resp. attr2) survives, the surviving value is stressed — multiplied
+    #: by a draw from ``stress_factor_range`` — with this probability.
+    #: Stressed records are *incomplete* (attr3 is missing), so they never
+    #: enter the pooled complete-row distribution, yet they are fully
+    #: visible to a multivariate-normal fit on the incomplete data: they are
+    #: what blows up the PROC-MI analogue's variance estimates (Figure 4a's
+    #: negative imputations; Figure 5's out-of-range Attribute 3).
+    outage_stress: float = 0.45
+    stress_factor_range: tuple[float, float] = (8.0, 20.0)
+    #: Share of outage records that are "counter faults" instead: attr1 and
+    #: attr2 are lost while attr3 survives — crashed to ``ratio_crash_range``.
+    #: Like stressed records these are incomplete, so the crashed ratios are
+    #: invisible to the complete-row distribution but poison the Gaussian
+    #: fit of Attribute 3 (whose bulk hugs 1), which is what spreads the
+    #: paper's Figure 5 imputations over the whole range including > 1.
+    outage_ratio_crash: float = 0.22
+    ratio_crash_range: tuple[float, float] = (0.60, 0.95)
+    #: Per-record probability of an attribute-3 crash (ratio drops far below
+    #: its bulk), detectable on either scale.
+    attr3_crash: float = 0.006
+    attr3_crash_range: tuple[float, float] = (0.0, 0.45)
+
+    # -- network-wide events (Figure 3's synchronized glitch surges) ----------
+    #: Number of network-wide event windows per generated population.
+    n_events: int = 3
+    event_length_range: tuple[int, int] = (6, 18)
+    #: Additive per-record outage/anomaly probability during an event.
+    event_outage_boost: float = 0.25
+    event_anomaly_boost: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "glitchy_fraction",
+            "healthy_scale",
+            "outage_enter",
+            "outage_exit",
+            "attr1_loss_in_outage",
+            "attr2_loss_in_outage",
+            "isolated_missing",
+            "negative_attr1",
+            "attr3_out_of_range",
+            "attr3_above_one_share",
+            "anomaly_enter",
+            "anomaly_exit",
+            "dip_share",
+            "attr2_coupling",
+            "outage_stress",
+            "outage_ratio_crash",
+            "attr3_crash",
+            "event_outage_boost",
+            "event_anomaly_boost",
+        ):
+            check_probability(getattr(self, name), name)
+        if self.intensity_sigma < 0:
+            raise ValidationError("intensity_sigma must be >= 0")
+        if self.n_events < 0:
+            raise ValidationError("n_events must be >= 0")
+        lo, hi = self.event_length_range
+        if not (1 <= lo <= hi):
+            raise ValidationError("event_length_range must satisfy 1 <= lo <= hi")
+        for rng_name in (
+            "spike_factor_range",
+            "dip_factor_range",
+            "stress_factor_range",
+            "ratio_crash_range",
+            "attr3_crash_range",
+        ):
+            lo_f, hi_f = getattr(self, rng_name)
+            if not (0 <= lo_f <= hi_f):
+                raise ValidationError(f"{rng_name} must satisfy 0 <= lo <= hi")
+
+
+@dataclass
+class SeriesInjection:
+    """Record of what the injector did to one series.
+
+    All masks are ``(T, v)`` boolean arrays on the dirty series' shape.
+    """
+
+    node: NodeId
+    glitchy: bool
+    missing_mask: np.ndarray
+    corruption_mask: np.ndarray
+    anomaly_mask: np.ndarray
+
+    @property
+    def any_glitch_mask(self) -> np.ndarray:
+        """Cells touched by any injected glitch."""
+        return self.missing_mask | self.corruption_mask | self.anomaly_mask
+
+
+@dataclass
+class InjectionResult:
+    """Dirty data set plus the per-series injection ledger."""
+
+    dataset: StreamDataset
+    records: list[SeriesInjection] = field(default_factory=list)
+
+    @property
+    def glitchy_indices(self) -> list[int]:
+        """Indices of series the injector treated as glitchy."""
+        return [i for i, r in enumerate(self.records) if r.glitchy]
+
+    @property
+    def healthy_indices(self) -> list[int]:
+        """Indices of series the injector treated as healthy."""
+        return [i for i, r in enumerate(self.records) if not r.glitchy]
+
+    def injected_missing_fraction(self) -> float:
+        """Fraction of cells turned missing across the population."""
+        total = sum(r.missing_mask.size for r in self.records)
+        hits = sum(int(r.missing_mask.sum()) for r in self.records)
+        return hits / total if total else 0.0
+
+
+def _burst_mask(
+    rng: np.random.Generator, length: int, p_enter: float, p_exit: float
+) -> np.ndarray:
+    """Boolean mask of a two-state Markov (burst) process of given length.
+
+    Sampled via geometric gap/burst lengths, which is equivalent to stepping
+    the chain but O(#bursts) instead of O(T).
+    """
+    mask = np.zeros(length, dtype=bool)
+    if p_enter <= 0 or length == 0:
+        return mask
+    p_exit = max(p_exit, 1e-9)
+    pos = int(rng.geometric(p_enter)) - 1
+    while pos < length:
+        burst = int(rng.geometric(p_exit))
+        mask[pos : pos + burst] = True
+        pos += burst + int(rng.geometric(p_enter))
+    return mask
+
+
+class GlitchInjector:
+    """Applies the glitch model to a clean :class:`StreamDataset`."""
+
+    def __init__(self, config: GlitchInjectionConfig | None = None, seed: Seed = None):
+        self.config = config or GlitchInjectionConfig()
+        self._rng = as_generator(seed)
+
+    def inject(self, dataset: StreamDataset) -> InjectionResult:
+        """Return a dirty copy of *dataset* plus the injection ledger."""
+        cfg = self.config
+        rng = self._rng
+        max_len = dataset.max_length
+        events = self._event_windows(rng, max_len)
+        dirty_series: list[TimeSeries] = []
+        records: list[SeriesInjection] = []
+        for series in dataset:
+            glitchy = bool(rng.random() < cfg.glitchy_fraction)
+            # Mean-one log-normal multiplier: heterogeneity across series
+            # without shifting the population glitch rates.
+            scale = (
+                float(
+                    np.exp(
+                        rng.normal(0.0, cfg.intensity_sigma)
+                        - 0.5 * cfg.intensity_sigma**2
+                    )
+                )
+                if glitchy
+                else cfg.healthy_scale
+            )
+            dirty, record = self._inject_series(rng, series, scale, glitchy, events)
+            dirty_series.append(dirty)
+            records.append(record)
+        return InjectionResult(StreamDataset(dirty_series), records)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _event_windows(self, rng: np.random.Generator, max_len: int) -> np.ndarray:
+        """Network-wide event mask over the global time axis."""
+        cfg = self.config
+        mask = np.zeros(max_len, dtype=bool)
+        lo, hi = cfg.event_length_range
+        for _ in range(cfg.n_events):
+            length = int(rng.integers(lo, hi + 1))
+            if length >= max_len:
+                mask[:] = True
+                continue
+            start = int(rng.integers(0, max_len - length))
+            mask[start : start + length] = True
+        return mask
+
+    def _inject_series(
+        self,
+        rng: np.random.Generator,
+        series: TimeSeries,
+        scale: float,
+        glitchy: bool,
+        events: np.ndarray,
+    ) -> tuple[TimeSeries, SeriesInjection]:
+        cfg = self.config
+        values = series.values.copy()
+        length, v = values.shape
+        event_here = events[:length]
+        sp = lambda p: min(1.0, p * scale)  # noqa: E731 - scaled probability
+
+        anomaly_mask = np.zeros((length, v), dtype=bool)
+        corruption_mask = np.zeros((length, v), dtype=bool)
+        missing_mask = np.zeros((length, v), dtype=bool)
+
+        j1, j2, j3 = 0, 1, 2  # attr1, attr2, attr3 columns
+
+        # 1. anomalies (spikes/dips) -- corrupt values, detection comes later.
+        burst = _burst_mask(rng, length, sp(cfg.anomaly_enter), cfg.anomaly_exit)
+        burst |= event_here & (rng.random(length) < sp(cfg.event_anomaly_boost))
+        starts = np.flatnonzero(burst & ~np.roll(burst, 1))
+        if burst[0]:
+            starts = np.union1d(starts, [0])
+        # Label each burst with its own dip/spike decision so consecutive
+        # records share a regime, as real equipment faults do.
+        regime = np.zeros(length, dtype=bool)  # True = dip
+        for s in starts:
+            e = s
+            while e < length and burst[e]:
+                e += 1
+            regime[s:e] = rng.random() < cfg.dip_share
+        idx = np.flatnonzero(burst)
+        for t in idx:
+            if regime[t]:
+                factor = rng.uniform(*cfg.dip_factor_range)
+            else:
+                factor = rng.uniform(*cfg.spike_factor_range)
+            values[t, j1] *= factor
+            anomaly_mask[t, j1] = True
+            if rng.random() < cfg.attr2_coupling:
+                values[t, j2] *= factor
+                anomaly_mask[t, j2] = True
+
+        crash = rng.random(length) < sp(cfg.attr3_crash)
+        values[crash, j3] = rng.uniform(*cfg.attr3_crash_range, size=int(crash.sum()))
+        anomaly_mask[:, j3] |= crash
+
+        # 2. inconsistencies -- constraint-violating values.
+        neg = rng.random(length) < sp(cfg.negative_attr1)
+        values[neg, j1] = -np.abs(values[neg, j1]) * rng.uniform(
+            0.05, 0.5, size=int(neg.sum())
+        )
+        corruption_mask[neg, j1] = True
+
+        oor = rng.random(length) < sp(cfg.attr3_out_of_range)
+        above = rng.random(length) < cfg.attr3_above_one_share
+        hi_mask = oor & above
+        lo_mask = oor & ~above
+        values[hi_mask, j3] = 1.0 + rng.uniform(0.01, 0.08, size=int(hi_mask.sum()))
+        values[lo_mask, j3] = -rng.uniform(0.01, 0.2, size=int(lo_mask.sum()))
+        corruption_mask[:, j3] |= oor
+
+        # 3. missing values -- outage bursts on attr3, partial loss of attr1/2.
+        outage = _burst_mask(rng, length, sp(cfg.outage_enter), cfg.outage_exit)
+        outage |= event_here & (rng.random(length) < sp(cfg.event_outage_boost))
+        # Counter faults: a slice of outage records loses attr1/attr2 instead
+        # of attr3, whose surviving value is a crashed ratio.
+        counter_fault = outage & (rng.random(length) < cfg.outage_ratio_crash)
+        ratio_outage = outage & ~counter_fault
+        missing_mask[ratio_outage, j3] = True
+        lost1 = ratio_outage & (rng.random(length) < cfg.attr1_loss_in_outage)
+        lost2 = ratio_outage & (rng.random(length) < cfg.attr2_loss_in_outage)
+        lost1 |= counter_fault
+        lost2 |= counter_fault
+        missing_mask[lost1, j1] = True
+        missing_mask[lost2, j2] = True
+        values[counter_fault, j3] = rng.uniform(
+            *cfg.ratio_crash_range, size=int(counter_fault.sum())
+        )
+        anomaly_mask[counter_fault, j3] = True
+        # Co-occurring stress: surviving attr1/attr2 values inside an outage
+        # record are often extreme (the fault that caused the outage). These
+        # records are incomplete, so the stress never reaches the pooled
+        # complete-row distribution — but it does reach the MVN imputer.
+        # One draw per record: the same fault stresses every surviving cell.
+        stress_record = ratio_outage & (rng.random(length) < cfg.outage_stress)
+        stressed1 = stress_record & ~lost1
+        stressed2 = stress_record & ~lost2
+        values[stressed1, j1] *= rng.uniform(
+            *cfg.stress_factor_range, size=int(stressed1.sum())
+        )
+        values[stressed2, j2] *= rng.uniform(
+            *cfg.stress_factor_range, size=int(stressed2.sum())
+        )
+        anomaly_mask[stressed1, j1] = True
+        anomaly_mask[stressed2, j2] = True
+        isolated = rng.random((length, v)) < sp(cfg.isolated_missing)
+        missing_mask |= isolated
+        values[missing_mask] = np.nan
+
+        dirty = TimeSeries(series.node, values, series.attributes, truth=series.truth)
+        record = SeriesInjection(
+            node=series.node,
+            glitchy=glitchy,
+            missing_mask=missing_mask,
+            corruption_mask=corruption_mask & ~missing_mask,
+            anomaly_mask=anomaly_mask & ~missing_mask,
+        )
+        return dirty, record

@@ -1,0 +1,156 @@
+"""Time-series container for one network node.
+
+Section 3.1: "At each node, we measure v variables in the form of a time
+series or data stream. For network node Nijk, the data stream is represented
+by a v x 1 vector X^t_ijk."
+
+We store the full stream of one node as a ``(T, v)`` float array where NaN
+means "not populated". When the series comes from the synthetic generator, the
+pre-glitch ground truth is retained alongside so oracle strategies (Figure 2's
+"re-take the measurements") and detector-accuracy tests are possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataShapeError
+from repro.data.topology import NodeId
+
+__all__ = ["TimeSeries", "DEFAULT_ATTRIBUTES"]
+
+#: Attribute names used by the paper-scale experiments. Attribute 1 is a
+#: heavy-tailed volume measure, Attribute 2 a mid-scale count, Attribute 3 a
+#: ratio confined to [0, 1] (Section 4.1's constraints reference exactly this
+#: structure).
+DEFAULT_ATTRIBUTES = ("attr1", "attr2", "attr3")
+
+
+class TimeSeries:
+    """A multivariate time series measured at one node.
+
+    Parameters
+    ----------
+    node:
+        The :class:`~repro.data.topology.NodeId` that produced the stream.
+    values:
+        ``(T, v)`` float array; NaN marks missing ("not populated") entries.
+    attributes:
+        Names of the ``v`` attributes, defaults to :data:`DEFAULT_ATTRIBUTES`
+        when ``v == 3``.
+    truth:
+        Optional ``(T, v)`` ground-truth array (no NaNs) recorded by the
+        synthetic generator before glitch injection.
+    """
+
+    __slots__ = ("node", "values", "attributes", "truth")
+
+    def __init__(
+        self,
+        node: NodeId,
+        values: np.ndarray,
+        attributes: Optional[Sequence[str]] = None,
+        truth: Optional[np.ndarray] = None,
+    ):
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise DataShapeError(f"values must be (T, v), got shape {values.shape}")
+        if attributes is None:
+            if values.shape[1] == len(DEFAULT_ATTRIBUTES):
+                attributes = DEFAULT_ATTRIBUTES
+            else:
+                attributes = tuple(f"attr{i + 1}" for i in range(values.shape[1]))
+        attributes = tuple(attributes)
+        if len(attributes) != values.shape[1]:
+            raise DataShapeError(
+                f"got {len(attributes)} attribute names for {values.shape[1]} columns"
+            )
+        if truth is not None:
+            truth = np.asarray(truth, dtype=float)
+            if truth.shape != values.shape:
+                raise DataShapeError(
+                    f"truth shape {truth.shape} does not match values shape {values.shape}"
+                )
+        self.node = node
+        self.values = values
+        self.attributes = attributes
+        self.truth = truth
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of time steps ``T`` (``T_ijk`` in the paper's notation)."""
+        return int(self.values.shape[0])
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of measured variables ``v``."""
+        return int(self.values.shape[1])
+
+    def __len__(self) -> int:
+        return self.length
+
+    # -- attribute access ---------------------------------------------------------
+
+    def attribute_index(self, name: str) -> int:
+        """Column index of attribute *name* (raises ``KeyError`` if absent)."""
+        try:
+            return self.attributes.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown attribute {name!r}; have {self.attributes}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """A **view** of one attribute's values over time."""
+        return self.values[:, self.attribute_index(name)]
+
+    # -- masks ------------------------------------------------------------------
+
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean ``(T, v)`` mask of not-populated entries."""
+        return np.isnan(self.values)
+
+    @property
+    def missing_fraction(self) -> float:
+        """Fraction of cells that are missing."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.isnan(self.values).mean())
+
+    # -- copies -------------------------------------------------------------------
+
+    def copy(self) -> "TimeSeries":
+        """Deep copy of values (truth is shared: it is never mutated)."""
+        return TimeSeries(self.node, self.values.copy(), self.attributes, self.truth)
+
+    def with_values(self, values: np.ndarray) -> "TimeSeries":
+        """A new series on the same node/attributes with replaced values."""
+        return TimeSeries(self.node, values, self.attributes, self.truth)
+
+    def transformed(self, name: str, forward) -> "TimeSeries":
+        """Apply an elementwise transform to one attribute, e.g. ``np.log``.
+
+        The paper studies a natural-log transform of Attribute 1 as an
+        experimental factor (Section 5.3). NaNs propagate; non-positive inputs
+        to ``np.log`` become NaN with a suppressed warning (they are glitches
+        by constraint 1 anyway).
+        """
+        out = self.values.copy()
+        j = self.attribute_index(name)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            col = forward(out[:, j])
+        col = np.asarray(col, dtype=float)
+        col[~np.isfinite(col)] = np.nan
+        out[:, j] = col
+        return TimeSeries(self.node, out, self.attributes, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimeSeries(node={self.node}, T={self.length}, v={self.n_attributes}, "
+            f"missing={self.missing_fraction:.1%})"
+        )

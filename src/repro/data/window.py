@@ -1,0 +1,48 @@
+"""Windowed history ``F_t^w`` over a data stream.
+
+Section 3.1: "In the data stream context, it is often infeasible to store all
+the data. ... In this paper we restrict ourselves to the currently available
+window F_t^w, the w time-step history up to time t-1."
+
+:class:`WindowHistory` provides exactly that view for the windowed outlier
+detector, without copying the underlying series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.stream import TimeSeries
+from repro.utils.validation import check_positive_int
+
+__all__ = ["WindowHistory"]
+
+
+class WindowHistory:
+    """Sliding ``w``-step history view over a :class:`TimeSeries`.
+
+    ``history(t)`` returns the rows for times ``t-w .. t-1`` (clipped at the
+    start of the stream), i.e. the information set available *before*
+    observing ``X^t``.
+    """
+
+    def __init__(self, series: TimeSeries, window: int):
+        self.series = series
+        self.window = check_positive_int(window, "window")
+
+    def history(self, t: int) -> np.ndarray:
+        """Rows of the stream in ``[max(0, t-w), t)``; empty at ``t == 0``."""
+        if not 0 <= t <= self.series.length:
+            raise IndexError(f"t={t} outside [0, {self.series.length}]")
+        start = max(0, t - self.window)
+        return self.series.values[start:t]
+
+    def history_column(self, t: int, attribute: str) -> np.ndarray:
+        """Windowed history of a single attribute."""
+        j = self.series.attribute_index(attribute)
+        return self.history(t)[:, j]
+
+    def iter_windows(self):
+        """Yield ``(t, history_rows)`` for every time step of the stream."""
+        for t in range(self.series.length):
+            yield t, self.history(t)

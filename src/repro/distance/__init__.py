@@ -1,0 +1,33 @@
+"""Statistical distances between empirical distributions.
+
+Definition 1 of the paper: statistical distortion is ``d(D, DC)`` for a
+distributional distance ``d``; "possible distances are the Earth Mover's,
+Kullback-Liebler or Mahalanobis distances" — all three are implemented here,
+with EMD (Section 3.5) as the primary metric, plus approximate EMD variants
+and a Kolmogorov-Smirnov extension.
+"""
+
+from repro.distance.base import Distance
+from repro.distance.emd import EarthMoverDistance, emd_1d
+from repro.distance.emd_approx import MarginalEmd, SlicedEmd
+from repro.distance.histogram import HistogramBinner, SparseHistogram
+from repro.distance.kl import JensenShannonDistance, KLDivergence
+from repro.distance.ks import KolmogorovSmirnovDistance
+from repro.distance.mahalanobis import MahalanobisDistance
+from repro.distance.transport import TransportResult, solve_transport
+
+__all__ = [
+    "Distance",
+    "EarthMoverDistance",
+    "emd_1d",
+    "SlicedEmd",
+    "MarginalEmd",
+    "HistogramBinner",
+    "SparseHistogram",
+    "KLDivergence",
+    "JensenShannonDistance",
+    "KolmogorovSmirnovDistance",
+    "MahalanobisDistance",
+    "TransportResult",
+    "solve_transport",
+]

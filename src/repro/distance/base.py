@@ -1,0 +1,57 @@
+"""Common interface for distribution distances.
+
+All distances operate on two empirical samples given as ``(N, d)`` arrays
+(rows = observations). One-dimensional inputs may be passed as flat arrays.
+Rows containing NaN are dropped — missing cells carry no distributional mass.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import DistanceError
+
+__all__ = ["Distance", "clean_sample"]
+
+
+def clean_sample(values: np.ndarray, name: str) -> np.ndarray:
+    """Coerce a sample to a complete-case ``(N, d)`` float array."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise DistanceError(f"{name} must be (N, d) or (N,), got shape {arr.shape}")
+    arr = arr[~np.isnan(arr).any(axis=1)]
+    if arr.shape[0] == 0:
+        raise DistanceError(f"{name} has no complete rows")
+    return arr
+
+
+class Distance(ABC):
+    """A distance between two empirical distributions.
+
+    Subclasses implement :meth:`compute` on cleaned samples; callers use the
+    instance as a callable.
+    """
+
+    #: Short identifier used in reports ("emd", "kl", ...).
+    name: str = "distance"
+
+    def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Distance between samples *p* and *q* (complete rows only)."""
+        p = clean_sample(p, "p")
+        q = clean_sample(q, "q")
+        if p.shape[1] != q.shape[1]:
+            raise DistanceError(
+                f"dimension mismatch: p has d={p.shape[1]}, q has d={q.shape[1]}"
+            )
+        return float(self.compute(p, q))
+
+    @abstractmethod
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Distance between pre-validated ``(N, d)`` samples."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

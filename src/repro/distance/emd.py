@@ -1,0 +1,105 @@
+"""Earth Mover's Distance — the paper's statistical-distortion metric.
+
+Section 3.5: EMD is the minimum-cost flow between two binned distributions on
+a shared support, normalised by total flow. For probability distributions the
+total flow is 1, so EMD equals the optimal transportation cost; we keep the
+explicit normalisation anyway to match the paper's formula.
+
+Two computation paths:
+
+* **1-D exact** (:func:`emd_1d`): no binning at all — the L1 distance between
+  empirical CDFs, which is the exact 1-Wasserstein distance.
+* **Multivariate** (:class:`EarthMoverDistance`): samples are binned on a
+  shared grid (:class:`~repro.distance.histogram.HistogramBinner`), the
+  ground distance is the Euclidean distance between occupied bin centres in
+  the binner's standardised coordinates, and the flow is solved by
+  :func:`~repro.distance.transport.solve_transport`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.base import Distance, clean_sample
+from repro.distance.histogram import HistogramBinner, SparseHistogram
+from repro.distance.transport import solve_transport
+from repro.stats.ecdf import Ecdf
+
+__all__ = ["emd_1d", "EarthMoverDistance", "emd_between_histograms"]
+
+
+def emd_1d(x: np.ndarray, y: np.ndarray) -> float:
+    """Exact 1-D Earth Mover's (1-Wasserstein) distance between samples.
+
+    Computed as the integral of ``|F - G|``; NaNs are dropped.
+    """
+    x = clean_sample(x, "x").ravel()
+    y = clean_sample(y, "y").ravel()
+    return Ecdf(x).l1_distance(Ecdf(y))
+
+
+def emd_between_histograms(
+    p: SparseHistogram, q: SparseHistogram, backend: str = "auto"
+) -> float:
+    """EMD between two pre-binned distributions on a common coordinate frame.
+
+    The ground distance is the Euclidean distance between bin centres —
+    ``|b_i - b_j|`` in the paper's notation.
+    """
+    diff = p.centers[:, None, :] - q.centers[None, :, :]
+    cost = np.sqrt(np.sum(diff * diff, axis=2))
+    result = solve_transport(p.probs, q.probs, cost, backend=backend)
+    total_flow = float(result.flow.sum())
+    return result.cost / total_flow if total_flow > 0 else 0.0
+
+
+class EarthMoverDistance(Distance):
+    """EMD between two empirical samples, as used throughout the paper.
+
+    Parameters
+    ----------
+    n_bins:
+        Bins per dimension for the shared grid (the paper stresses EMD "is
+        not affected by binning differences"; the bin-sensitivity ablation
+        bench verifies this empirically).
+    binning, standardize:
+        Forwarded to :class:`HistogramBinner`. The default is **uniform**
+        binning: equal-mass (quantile) bins place a single huge bin over a
+        heavy tail, hiding movements *within* that tail — e.g. Winsorization
+        pulling a far outlier to the 3-sigma limit can land start and end in
+        the same quantile bin and register zero distance. Uniform bins keep
+        cross-bin distances faithful everywhere, which is what the paper's
+        "not affected by binning differences" argument assumes.
+    backend:
+        Transportation solver backend (``"auto"``/``"simplex"``/``"highs"``/
+        ``"networkx"``).
+    exact_1d:
+        Use the exact CDF path for univariate inputs (default True).
+    """
+
+    name = "emd"
+
+    def __init__(
+        self,
+        n_bins: int = 16,
+        binning: str = "uniform",
+        standardize: bool = True,
+        backend: str = "auto",
+        exact_1d: bool = True,
+    ):
+        self.binner = HistogramBinner(
+            n_bins=n_bins, binning=binning, standardize=standardize
+        )
+        self.backend = backend
+        self.exact_1d = exact_1d
+
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        if p.shape[1] == 1 and self.exact_1d and not self.binner.standardize:
+            return emd_1d(p.ravel(), q.ravel())
+        if p.shape[1] == 1 and self.exact_1d:
+            # Standardise with the reference frame, then use the exact path;
+            # this keeps 1-D results comparable with multivariate ones.
+            shift, scale = self.binner._reference_frame(p)
+            return emd_1d((p.ravel() - shift[0]) / scale[0], (q.ravel() - shift[0]) / scale[0])
+        hp, hq = self.binner.histogram_pair(p, q)
+        return emd_between_histograms(hp, hq, backend=self.backend)

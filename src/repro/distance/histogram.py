@@ -1,0 +1,171 @@
+"""Shared-support multivariate binning for distribution distances.
+
+Section 3.5: "let P and Q be two distributions with the same support, and let
+b_i, i = 1..n be the bins covering this support." Binning two samples on a
+*common* grid is what makes cross-bin distances (EMD) and per-bin divergences
+(KL) well defined; this module owns that step.
+
+Only non-empty bins are materialised (:class:`SparseHistogram`): with 8 bins
+per dimension a 3-attribute histogram has 512 potential cells but typically
+one to two hundred occupied ones, which keeps the transportation problem
+small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DistanceError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SparseHistogram", "HistogramBinner"]
+
+
+@dataclass(frozen=True)
+class SparseHistogram:
+    """Non-empty bins of a multivariate histogram.
+
+    ``centers`` is ``(K, d)`` — the bin-centre coordinates (in whatever
+    coordinate system the binner used); ``probs`` is ``(K,)`` and sums to 1.
+    """
+
+    centers: np.ndarray
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.centers.ndim != 2:
+            raise DistanceError(f"centers must be (K, d), got {self.centers.shape}")
+        if self.probs.shape != (self.centers.shape[0],):
+            raise DistanceError(
+                f"probs shape {self.probs.shape} does not match centers "
+                f"{self.centers.shape}"
+            )
+        total = float(self.probs.sum())
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise DistanceError(f"probs must sum to 1, got {total}")
+
+    @property
+    def n_bins(self) -> int:
+        """Number of occupied bins ``K``."""
+        return int(self.centers.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ``d``."""
+        return int(self.centers.shape[1])
+
+
+class HistogramBinner:
+    """Bins two samples on a shared grid.
+
+    Parameters
+    ----------
+    n_bins:
+        Bins per dimension.
+    binning:
+        ``"quantile"`` (default) places edges at pooled-sample quantiles, so
+        resolution follows the data even under the heavy tails our dirty data
+        exhibit; ``"uniform"`` uses equal-width bins over the pooled range.
+    standardize:
+        When True (default), coordinates are first centred on the *reference*
+        sample's mean and scaled by its standard deviation. Distances
+        computed on bin centres are then scale-free and comparable across
+        replications — without this, EMD on raw network data would be
+        dominated by the largest-magnitude attribute. The plain (non-robust)
+        standard deviation is deliberate: for a distribution that is a tight
+        bulk plus a heavy tail (our Attribute 3), a robust scale such as the
+        IQR collapses to the bulk width and any tail movement then costs an
+        enormous number of scale units, swamping every other signal.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 8,
+        binning: str = "quantile",
+        standardize: bool = True,
+    ):
+        self.n_bins = check_positive_int(n_bins, "n_bins")
+        if binning not in ("quantile", "uniform"):
+            raise DistanceError(f"binning must be quantile/uniform, got {binning!r}")
+        self.binning = binning
+        self.standardize = standardize
+
+    # -- public API -----------------------------------------------------------
+
+    def histogram_pair(
+        self, p: np.ndarray, q: np.ndarray
+    ) -> tuple[SparseHistogram, SparseHistogram]:
+        """Histogram both samples on a grid covering their union support.
+
+        The reference for standardisation is *p* (in the distortion setting:
+        the dirty data set), so the coordinate system does not drift with the
+        cleaning strategy under evaluation.
+        """
+        p = np.asarray(p, dtype=float)
+        q = np.asarray(q, dtype=float)
+        if p.ndim != 2 or q.ndim != 2 or p.shape[1] != q.shape[1]:
+            raise DistanceError(
+                f"samples must be (N, d) with matching d, got {p.shape} and {q.shape}"
+            )
+        shift, scale = self._reference_frame(p)
+        ps = (p - shift) / scale
+        qs = (q - shift) / scale
+        edges = self._edges(np.concatenate([ps, qs], axis=0))
+        hp = self._sparse_histogram(ps, edges)
+        hq = self._sparse_histogram(qs, edges)
+        return hp, hq
+
+    # -- internals ------------------------------------------------------------
+
+    def _reference_frame(self, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not self.standardize:
+            d = p.shape[1]
+            return np.zeros(d), np.ones(d)
+        shift = p.mean(axis=0)
+        scale = p.std(axis=0)
+        scale = np.where(scale > 0, scale, 1.0)
+        return shift, scale
+
+    def _edges(self, pooled: np.ndarray) -> list[np.ndarray]:
+        edges = []
+        for j in range(pooled.shape[1]):
+            col = pooled[:, j]
+            lo, hi = float(col.min()), float(col.max())
+            if lo == hi:
+                # Degenerate dimension: a single bin centred on the value.
+                e = np.array([lo - 0.5, hi + 0.5])
+            elif self.binning == "uniform":
+                e = np.linspace(lo, hi, self.n_bins + 1)
+            else:
+                qs = np.linspace(0.0, 1.0, self.n_bins + 1)
+                e = np.unique(np.quantile(col, qs))
+                if e.size < 2:
+                    e = np.array([lo - 0.5, hi + 0.5])
+            edges.append(e)
+        return edges
+
+    def _sparse_histogram(
+        self, sample: np.ndarray, edges: list[np.ndarray]
+    ) -> SparseHistogram:
+        n, d = sample.shape
+        idx = np.empty((n, d), dtype=np.int64)
+        centers_1d = []
+        for j, e in enumerate(edges):
+            k = np.searchsorted(e, sample[:, j], side="right") - 1
+            idx[:, j] = np.clip(k, 0, e.size - 2)
+            centers_1d.append(0.5 * (e[:-1] + e[1:]))
+        # Collapse multi-indices to flat keys, then count unique occupied bins.
+        dims = np.array([e.size - 1 for e in edges], dtype=np.int64)
+        flat = np.zeros(n, dtype=np.int64)
+        for j in range(d):
+            flat = flat * dims[j] + idx[:, j]
+        keys, counts = np.unique(flat, return_counts=True)
+        centers = np.empty((keys.size, d))
+        remaining = keys.copy()
+        for j in range(d - 1, -1, -1):
+            centers[:, j] = centers_1d[j][remaining % dims[j]]
+            remaining = remaining // dims[j]
+        probs = counts / counts.sum()
+        return SparseHistogram(centers=centers, probs=probs)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "TopologyError",
+    "DataShapeError",
+    "ConstraintError",
+    "CleaningError",
+    "DistanceError",
+    "TransportError",
+    "SamplingError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, empty, ...)."""
+
+
+class TopologyError(ReproError):
+    """A network-topology operation referenced an unknown or duplicate node."""
+
+
+class DataShapeError(ReproError, ValueError):
+    """A data container was constructed with inconsistent dimensions."""
+
+
+class ConstraintError(ReproError, ValueError):
+    """An inconsistency constraint is malformed or references bad attributes."""
+
+
+class CleaningError(ReproError):
+    """A cleaning strategy could not be applied."""
+
+
+class DistanceError(ReproError):
+    """A statistical distance could not be computed."""
+
+
+class TransportError(DistanceError):
+    """The transportation problem underlying EMD failed to solve."""
+
+
+class SamplingError(ReproError, ValueError):
+    """A sampling scheme received invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """The experimental framework was configured or driven incorrectly."""

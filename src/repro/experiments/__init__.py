@@ -1,0 +1,45 @@
+"""Canonical configurations and drivers for every experiment in the paper."""
+
+from repro.experiments.config import (
+    SCALES,
+    PopulationBundle,
+    build_population,
+    experiment_config,
+    scale_from_env,
+)
+from repro.experiments.paper import (
+    ScatterData,
+    collect_treatment_scatter,
+    figure3_counts,
+    figure4_stats,
+    figure5_stats,
+    run_figure6,
+    run_figure7,
+    run_table1,
+)
+from repro.experiments.report import (
+    render_cost_summary,
+    render_counts_series,
+    render_strategy_summaries,
+    render_table1,
+)
+
+__all__ = [
+    "SCALES",
+    "PopulationBundle",
+    "build_population",
+    "experiment_config",
+    "scale_from_env",
+    "figure3_counts",
+    "figure4_stats",
+    "figure5_stats",
+    "run_figure6",
+    "run_figure7",
+    "run_table1",
+    "ScatterData",
+    "collect_treatment_scatter",
+    "render_table1",
+    "render_strategy_summaries",
+    "render_cost_summary",
+    "render_counts_series",
+]

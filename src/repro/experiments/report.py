@@ -1,0 +1,117 @@
+"""Plain-text rendering of the paper's tables and figure summaries.
+
+The library is plotting-free (no matplotlib offline), so every figure is
+reported as the numbers behind it: per-strategy means and standard
+deviations for the scatter plots, count series for Figure 3, and the Table 1
+percentage grid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cleaning.registry import STRATEGY_LABELS
+from repro.core.cost import CostSweepResult
+from repro.core.evaluation import StrategySummary, glitch_fraction_table
+from repro.core.framework import ExperimentResult
+from repro.glitches.types import GlitchType
+
+__all__ = [
+    "render_table1",
+    "render_strategy_summaries",
+    "render_cost_summary",
+    "render_counts_series",
+]
+
+
+def _fmt(value: float, width: int = 9) -> str:
+    return f"{value:{width}.4f}"
+
+
+def render_table1(results: Mapping[str, ExperimentResult]) -> str:
+    """Render the Table 1 grid: % glitches dirty vs treated per strategy.
+
+    *results* maps configuration labels (e.g. ``"n=100, log(attr1)"``) to
+    experiment results, as produced by
+    :func:`repro.experiments.paper.run_table1`.
+    """
+    header = (
+        f"{'Configuration':<24} {'Strategy':<11} "
+        f"{'Miss.Dirty':>10} {'Inc.Dirty':>10} {'Out.Dirty':>10} "
+        f"{'Miss.Treat':>10} {'Inc.Treat':>10} {'Out.Treat':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, result in results.items():
+        table = glitch_fraction_table(result.outcomes)
+        for strategy in result.strategies:
+            row = table[strategy]
+            lines.append(
+                f"{label:<24} {strategy:<11} "
+                f"{_fmt(row['missing_dirty'])} {_fmt(row['inconsistent_dirty'])} "
+                f"{_fmt(row['outlier_dirty'])} "
+                f"{_fmt(row['missing_treated'])} {_fmt(row['inconsistent_treated'])} "
+                f"{_fmt(row['outlier_treated'])}"
+            )
+        lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def render_strategy_summaries(
+    summaries: Sequence[StrategySummary], title: str = ""
+) -> str:
+    """Per-strategy improvement/distortion means — the Figure 6 clusters."""
+    header = (
+        f"{'Strategy':<14} {'Label':<32} "
+        f"{'Improv.mean':>11} {'Improv.sd':>10} {'EMD.mean':>9} {'EMD.sd':>8}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, "-" * len(header)])
+    for s in summaries:
+        label = STRATEGY_LABELS.get(s.strategy, "")
+        lines.append(
+            f"{s.strategy:<14} {label:<32} "
+            f"{s.improvement_mean:>11.3f} {s.improvement_std:>10.3f} "
+            f"{s.distortion_mean:>9.3f} {s.distortion_std:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_cost_summary(sweep: CostSweepResult, title: str = "") -> str:
+    """Per-fraction improvement/distortion — the Figure 7 clusters."""
+    header = (
+        f"{'% cleaned':>9} {'Improv.mean':>11} {'Improv.sd':>10} "
+        f"{'EMD.mean':>9} {'EMD.sd':>8}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, "-" * len(header)])
+    for s in sorted(sweep.summaries(), key=lambda s: -s.cost_fraction):
+        lines.append(
+            f"{100 * s.cost_fraction:>8.0f}% {s.improvement_mean:>11.3f} "
+            f"{s.improvement_std:>10.3f} {s.distortion_mean:>9.3f} "
+            f"{s.distortion_std:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_counts_series(
+    counts: np.ndarray, stride: int = 10, title: str = ""
+) -> str:
+    """Render the Figure 3 glitch-count series, sampled every *stride* steps."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'t':>5} " + " ".join(f"{g.label:>12}" for g in GlitchType)
+    lines.extend([header, "-" * len(header)])
+    for t in range(0, counts.shape[0], stride):
+        row = " ".join(f"{int(counts[t, int(g)]):>12d}" for g in GlitchType)
+        lines.append(f"{t:>5} {row}")
+    totals = " ".join(f"{int(counts[:, int(g)].sum()):>12d}" for g in GlitchType)
+    lines.append("-" * len(header))
+    lines.append(f"{'sum':>5} {totals}")
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""Inconsistency constraints — the detector ``f_I`` (Section 3.3).
+
+"An inconsistency can be defined based on a single attribute ('inconsistent if
+X is less than 0'), or based on multiple attributes." The paper's case study
+uses three constraints (Section 4.1):
+
+1. Attribute 1 should be greater than or equal to zero.
+2. Attribute 3 should lie in the interval [0, 1].
+3. Attribute 1 should not be populated if Attribute 3 is missing.
+
+This module provides a tiny declarative constraint language covering those
+three patterns plus arbitrary user predicates. Each constraint flags the
+attribute it deems responsible, so violations land in the right column of the
+glitch bit matrix.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.data.stream import TimeSeries
+from repro.errors import ConstraintError
+
+__all__ = [
+    "Constraint",
+    "LowerBoundConstraint",
+    "RangeConstraint",
+    "NotPopulatedIfConstraint",
+    "PredicateConstraint",
+    "CrossAttributeConstraint",
+    "ConstraintSet",
+    "paper_constraints",
+]
+
+
+class Constraint(ABC):
+    """A rule whose violation marks an attribute as inconsistent.
+
+    ``evaluate`` returns a ``(T, v)`` boolean mask; a True cell means the
+    constraint is violated and the violation is attributed to that cell.
+    Missing (NaN) values never violate value constraints — they are a
+    different glitch type.
+    """
+
+    @abstractmethod
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        """``(T, v)`` violation mask for *series*."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable statement of the rule."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()!r})"
+
+    def _mask_for(self, series: TimeSeries) -> np.ndarray:
+        return np.zeros(series.values.shape, dtype=bool)
+
+    @staticmethod
+    def _column(series: TimeSeries, attribute: str) -> tuple[int, np.ndarray]:
+        try:
+            j = series.attribute_index(attribute)
+        except KeyError as exc:
+            raise ConstraintError(str(exc)) from None
+        return j, series.values[:, j]
+
+
+class LowerBoundConstraint(Constraint):
+    """``attribute >= bound`` (or ``>`` when ``strict``).
+
+    Constraint 1 of the paper is ``LowerBoundConstraint("attr1", 0.0)``.
+    """
+
+    def __init__(self, attribute: str, bound: float, strict: bool = False):
+        self.attribute = attribute
+        self.bound = float(bound)
+        self.strict = bool(strict)
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        mask = self._mask_for(series)
+        j, col = self._column(series, self.attribute)
+        cmp = operator.le if self.strict else operator.lt
+        with np.errstate(invalid="ignore"):
+            mask[:, j] = np.isfinite(col) & cmp(col, self.bound)
+        return mask
+
+    def describe(self) -> str:
+        op = ">" if self.strict else ">="
+        return f"{self.attribute} {op} {self.bound}"
+
+
+class RangeConstraint(Constraint):
+    """``low <= attribute <= high``.
+
+    Constraint 2 of the paper is ``RangeConstraint("attr3", 0.0, 1.0)``.
+    """
+
+    def __init__(self, attribute: str, low: float, high: float):
+        if low > high:
+            raise ConstraintError(f"low ({low}) must be <= high ({high})")
+        self.attribute = attribute
+        self.low = float(low)
+        self.high = float(high)
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        mask = self._mask_for(series)
+        j, col = self._column(series, self.attribute)
+        with np.errstate(invalid="ignore"):
+            mask[:, j] = np.isfinite(col) & ((col < self.low) | (col > self.high))
+        return mask
+
+    def describe(self) -> str:
+        return f"{self.low} <= {self.attribute} <= {self.high}"
+
+
+class NotPopulatedIfConstraint(Constraint):
+    """*attribute* must not be populated when *other* is missing.
+
+    Constraint 3 of the paper is
+    ``NotPopulatedIfConstraint("attr1", other="attr3")``: "Attribute 1 should
+    not be populated if Attribute 3 is missing." The populated value is the
+    offender, so the violation is attributed to *attribute*. This rule is the
+    built-in source of overlap between missing and inconsistent glitches that
+    Figure 3 and Table 1 comment on.
+    """
+
+    def __init__(self, attribute: str, other: str):
+        if attribute == other:
+            raise ConstraintError("attribute and other must differ")
+        self.attribute = attribute
+        self.other = other
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        mask = self._mask_for(series)
+        j, col = self._column(series, self.attribute)
+        _, other_col = self._column(series, self.other)
+        mask[:, j] = np.isfinite(col) & np.isnan(other_col)
+        return mask
+
+    def describe(self) -> str:
+        return f"{self.attribute} must not be populated if {self.other} is missing"
+
+
+class CrossAttributeConstraint(Constraint):
+    """Pairwise comparison between two attributes, e.g. ``attr1 >= attr2``.
+
+    Violations are attributed to *attribute* (the left-hand side). Records
+    where either side is missing do not violate.
+    """
+
+    _OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+        ">=": operator.ge,
+        ">": operator.gt,
+        "<=": operator.le,
+        "<": operator.lt,
+        "==": operator.eq,
+    }
+
+    def __init__(self, attribute: str, op: str, other: str):
+        if op not in self._OPS:
+            raise ConstraintError(f"unsupported operator {op!r}; use one of {sorted(self._OPS)}")
+        self.attribute = attribute
+        self.op = op
+        self.other = other
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        mask = self._mask_for(series)
+        j, col = self._column(series, self.attribute)
+        _, other_col = self._column(series, self.other)
+        both = np.isfinite(col) & np.isfinite(other_col)
+        with np.errstate(invalid="ignore"):
+            holds = self._OPS[self.op](col, other_col)
+        mask[:, j] = both & ~holds
+        return mask
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.op} {self.other}"
+
+
+class PredicateConstraint(Constraint):
+    """Escape hatch: an arbitrary record-level predicate.
+
+    ``predicate`` receives the full ``(T, v)`` value array and must return a
+    ``(T,)`` boolean array where True means *violated*; the violation is
+    attributed to *attribute*.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        predicate: Callable[[np.ndarray], np.ndarray],
+        description: str,
+    ):
+        self.attribute = attribute
+        self.predicate = predicate
+        self.description = description
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        mask = self._mask_for(series)
+        j, _ = self._column(series, self.attribute)
+        flags = np.asarray(self.predicate(series.values), dtype=bool)
+        if flags.shape != (series.length,):
+            raise ConstraintError(
+                f"predicate must return shape ({series.length},), got {flags.shape}"
+            )
+        mask[:, j] = flags
+        return mask
+
+    def describe(self) -> str:
+        return self.description
+
+
+class ConstraintSet:
+    """A conjunction of constraints evaluated as one detector ``f_I``.
+
+    The paper folds all inconsistency variants into a single flag per
+    attribute (Section 3.3); ``evaluate`` accordingly ORs the per-constraint
+    masks.
+    """
+
+    def __init__(self, constraints: Iterable[Constraint]):
+        self._constraints = list(constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """Member constraints (list copy)."""
+        return list(self._constraints)
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        """``(T, v)`` OR-combined violation mask."""
+        mask = np.zeros(series.values.shape, dtype=bool)
+        for c in self._constraints:
+            mask |= c.evaluate(series)
+        return mask
+
+    def detect(self, series: TimeSeries) -> np.ndarray:
+        """Alias of :meth:`evaluate` matching the detector protocol."""
+        return self.evaluate(series)
+
+    def describe(self) -> list[str]:
+        """Human-readable rule list."""
+        return [c.describe() for c in self._constraints]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstraintSet({self.describe()})"
+
+
+def paper_constraints() -> ConstraintSet:
+    """The three inconsistency constraints of the paper's case study.
+
+    Section 4.1: "(1) Attribute 1 should be greater than or equal to zero,
+    (2) Attribute 3 should lie in the interval [0, 1], and (3) Attribute 1
+    should not be populated if Attribute 3 is missing."
+    """
+    return ConstraintSet(
+        [
+            LowerBoundConstraint("attr1", 0.0),
+            RangeConstraint("attr3", 0.0, 1.0),
+            NotPopulatedIfConstraint("attr1", other="attr3"),
+        ]
+    )

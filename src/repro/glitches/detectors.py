@@ -1,0 +1,255 @@
+"""The detector suite: assembling ``G_{t,ijk}`` and identifying ideal data.
+
+Two protocol details from the paper are encoded here:
+
+* **Scale of detection.** Missing values and inconsistencies are facts about
+  the raw records, so ``f_M`` and ``f_I`` always run on the untransformed
+  data. The log transform of Attribute 1 is an experimental factor for
+  *outlier* detection and repair only — Table 1 shows identical
+  missing/inconsistent rates with and without the log but very different
+  outlier rates.
+* **Ideal-set identification.** "We identify parts of the dirty data set D
+  that meet the clean requirements ... and treat these as the ideal data set"
+  (Section 2.1.2); concretely, sectors "where the time series contained less
+  than 5% each of missing, inconsistencies and outliers" (Section 4.1). Since
+  outlier limits are themselves computed from the ideal data, the split is a
+  fixed point — :func:`identify_ideal` iterates to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+from repro.errors import ValidationError
+from repro.glitches.constraints import ConstraintSet, paper_constraints
+from repro.glitches.missing import detect_missing
+from repro.glitches.outliers import SigmaLimits, SigmaOutlierDetector
+from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType, N_GLITCH_TYPES
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "ScaleTransform",
+    "DetectorSuite",
+    "CleanlinessPartition",
+    "partition_by_cleanliness",
+    "identify_ideal",
+]
+
+
+@dataclass(frozen=True)
+class ScaleTransform:
+    """An elementwise transform of one attribute defining the analysis scale.
+
+    The paper's factor is a natural-log transform of Attribute 1
+    (Section 5.3); :meth:`log_attr1` builds exactly that. Non-finite results
+    (log of the negative values planted by constraint-1 violations) become
+    NaN, so they are simply invisible to the outlier detector — they are
+    already flagged as inconsistencies on the raw scale.
+
+    ``inverse`` (when given) lets cleaning strategies operate on the analysis
+    scale and write repaired values back on the raw scale: Winsorization
+    clips on the transformed scale, imputation models the transformed joint
+    distribution (Figure 4b), and the repaired column is mapped back through
+    the inverse.
+    """
+
+    attribute: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    name: str
+    inverse: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+    @classmethod
+    def log_attr1(cls) -> "ScaleTransform":
+        """The paper's log transform of Attribute 1 (inverse: exp)."""
+        return cls(attribute="attr1", forward=np.log, name="log(attr1)", inverse=np.exp)
+
+    def apply(self, series: TimeSeries) -> TimeSeries:
+        """Transform one series (returns a new series)."""
+        return series.transformed(self.attribute, self.forward)
+
+    def apply_dataset(self, dataset: StreamDataset) -> StreamDataset:
+        """Transform every series of a data set."""
+        return dataset.transformed(self.attribute, self.forward)
+
+    def forward_values(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
+        """Transform the matching column of a raw ``(T, v)`` array (copy)."""
+        out = np.asarray(values, dtype=float).copy()
+        if self.attribute in attributes:
+            j = attributes.index(self.attribute)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                col = np.asarray(self.forward(out[:, j]), dtype=float)
+            col[~np.isfinite(col)] = np.nan
+            out[:, j] = col
+        return out
+
+    def inverse_values(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
+        """Map an analysis-scale ``(T, v)`` array back to the raw scale (copy)."""
+        if self.inverse is None:
+            raise ValidationError(f"transform {self.name!r} has no inverse")
+        out = np.asarray(values, dtype=float).copy()
+        if self.attribute in attributes:
+            j = attributes.index(self.attribute)
+            with np.errstate(invalid="ignore", over="ignore"):
+                out[:, j] = self.inverse(out[:, j])
+        return out
+
+
+class DetectorSuite:
+    """Composite detector producing the full glitch bit matrix per series.
+
+    Parameters
+    ----------
+    constraints:
+        The inconsistency rules ``f_I``; defaults to the paper's three.
+    outlier_detector:
+        A fitted :class:`SigmaOutlierDetector` (or compatible object with a
+        ``detect(series) -> (T, v) bool`` method). ``None`` disables outlier
+        flagging — used while bootstrapping the ideal set.
+    transform:
+        Optional :class:`ScaleTransform` applied *only* for outlier
+        detection. The detector's limits must have been computed on the same
+        scale (use :meth:`from_ideal`).
+    """
+
+    def __init__(
+        self,
+        constraints: Optional[ConstraintSet] = None,
+        outlier_detector: Optional[SigmaOutlierDetector] = None,
+        transform: Optional[ScaleTransform] = None,
+    ):
+        self.constraints = constraints if constraints is not None else paper_constraints()
+        self.outlier_detector = outlier_detector
+        self.transform = transform
+
+    @classmethod
+    def from_ideal(
+        cls,
+        ideal: StreamDataset,
+        constraints: Optional[ConstraintSet] = None,
+        transform: Optional[ScaleTransform] = None,
+        k: float = 3.0,
+        robust: bool = False,
+    ) -> "DetectorSuite":
+        """Build the paper's suite with 3-sigma limits fitted on *ideal*.
+
+        The ideal data are transformed first when a transform is given, so
+        limits live on the analysis scale (Section 5.3).
+        """
+        scaled = transform.apply_dataset(ideal) if transform else ideal
+        limits = SigmaLimits.from_dataset(scaled, k=k, robust=robust)
+        return cls(
+            constraints=constraints,
+            outlier_detector=SigmaOutlierDetector(limits),
+            transform=transform,
+        )
+
+    # -- annotation --------------------------------------------------------------
+
+    def annotate(self, series: TimeSeries) -> GlitchMatrix:
+        """Glitch bit matrix ``(T, v, m)`` of one series."""
+        bits = np.zeros((series.length, series.n_attributes, N_GLITCH_TYPES), dtype=bool)
+        bits[:, :, int(GlitchType.MISSING)] = detect_missing(series)
+        bits[:, :, int(GlitchType.INCONSISTENT)] = self.constraints.evaluate(series)
+        if self.outlier_detector is not None:
+            scaled = self.transform.apply(series) if self.transform else series
+            bits[:, :, int(GlitchType.OUTLIER)] = self.outlier_detector.detect(scaled)
+        return GlitchMatrix(bits)
+
+    def annotate_dataset(self, dataset: StreamDataset) -> DatasetGlitches:
+        """Glitch annotations for every series, in data-set order."""
+        return DatasetGlitches(self.annotate(s) for s in dataset)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        t = self.transform.name if self.transform else "raw"
+        return (
+            f"DetectorSuite(constraints={len(self.constraints)}, "
+            f"outliers={'on' if self.outlier_detector else 'off'}, scale={t})"
+        )
+
+
+@dataclass
+class CleanlinessPartition:
+    """Result of splitting a population into dirty and ideal parts."""
+
+    dirty: StreamDataset
+    ideal: StreamDataset
+    dirty_indices: list[int]
+    ideal_indices: list[int]
+
+    @property
+    def ideal_fraction(self) -> float:
+        """Share of series that met the cleanliness requirement."""
+        total = len(self.dirty_indices) + len(self.ideal_indices)
+        return len(self.ideal_indices) / total if total else 0.0
+
+
+def partition_by_cleanliness(
+    dataset: StreamDataset,
+    suite: DetectorSuite,
+    max_fraction: float = 0.05,
+) -> CleanlinessPartition:
+    """Split *dataset* into dirty and ideal parts by the < 5% rule.
+
+    A series is ideal when its record-level rate of **each** glitch type is
+    below *max_fraction* (Section 4.1). Raises if either side ends up empty —
+    the experimental framework needs both.
+    """
+    max_fraction = check_fraction(max_fraction, "max_fraction")
+    dirty_idx: list[int] = []
+    ideal_idx: list[int] = []
+    for i, series in enumerate(dataset):
+        matrix = suite.annotate(series)
+        clean = all(matrix.record_fraction(g) < max_fraction for g in GlitchType)
+        (ideal_idx if clean else dirty_idx).append(i)
+    if not ideal_idx:
+        raise ValidationError(
+            "no series met the cleanliness requirement; loosen max_fraction"
+        )
+    if not dirty_idx:
+        raise ValidationError("every series is ideal; nothing to clean")
+    return CleanlinessPartition(
+        dirty=dataset.subset(dirty_idx),
+        ideal=dataset.subset(ideal_idx),
+        dirty_indices=dirty_idx,
+        ideal_indices=ideal_idx,
+    )
+
+
+def identify_ideal(
+    dataset: StreamDataset,
+    constraints: Optional[ConstraintSet] = None,
+    transform: Optional[ScaleTransform] = None,
+    k: float = 3.0,
+    max_fraction: float = 0.05,
+    max_iter: int = 3,
+) -> tuple[CleanlinessPartition, DetectorSuite]:
+    """Iterate the ideal-set / outlier-limit fixed point.
+
+    Round 0 partitions on missing + inconsistent rates alone (no outlier
+    limits exist yet); each subsequent round fits 3-sigma limits on the
+    current ideal set, re-annotates, and re-partitions. The loop stops early
+    once the ideal membership is stable. Returns the final partition and the
+    fitted :class:`DetectorSuite` (which downstream code reuses for glitch
+    scoring).
+    """
+    if max_iter < 1:
+        raise ValidationError("max_iter must be >= 1")
+    bootstrap = DetectorSuite(constraints=constraints, outlier_detector=None)
+    partition = partition_by_cleanliness(dataset, bootstrap, max_fraction)
+    suite = bootstrap
+    previous = set(partition.ideal_indices)
+    for _ in range(max_iter):
+        suite = DetectorSuite.from_ideal(
+            partition.ideal, constraints=constraints, transform=transform, k=k
+        )
+        partition = partition_by_cleanliness(dataset, suite, max_fraction)
+        current = set(partition.ideal_indices)
+        if current == previous:
+            break
+        previous = current
+    return partition, suite

@@ -1,0 +1,30 @@
+"""The missing-value detector ``f_M`` (Section 3.3).
+
+"The missing values detector is given by f_M(X^t) = I_missing, where
+I_missing[i] = 1 if X^t[i] is missing." A value is considered missing if it is
+not populated (Section 4.1); the library represents "not populated" as NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.stream import TimeSeries
+
+__all__ = ["detect_missing", "MissingDetector"]
+
+
+def detect_missing(series: TimeSeries) -> np.ndarray:
+    """``(T, v)`` boolean mask of not-populated cells."""
+    return np.isnan(series.values)
+
+
+class MissingDetector:
+    """Class-form wrapper so the suite can treat all detectors uniformly."""
+
+    def detect(self, series: TimeSeries) -> np.ndarray:
+        """``(T, v)`` boolean mask of not-populated cells."""
+        return detect_missing(series)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MissingDetector()"

@@ -1,0 +1,118 @@
+"""Glitch pattern analysis: co-occurrence, temporal structure, Figure 3.
+
+The paper highlights that glitches are "multi-type, co-occurring or stand
+alone, with complex patterns of dependence" (Section 3.2) and shows in
+Figure 3 that missing and inconsistent values overlap heavily over time.
+These utilities quantify those structures on a :class:`DatasetGlitches`
+annotation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.glitches.types import DatasetGlitches, GlitchType, N_GLITCH_TYPES
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "counts_over_time",
+    "cooccurrence_matrix",
+    "jaccard_overlap",
+    "pattern_frequencies",
+    "temporal_autocorrelation",
+]
+
+
+def counts_over_time(glitches: DatasetGlitches) -> np.ndarray:
+    """``(T_max, m)`` record-level glitch counts at each time step.
+
+    This regenerates the Figure 3 series: entry ``[t, k]`` counts how many
+    series carry glitch type ``k`` (on any attribute) at time ``t``,
+    aggregated across whatever runs/samples went into *glitches*.
+    """
+    t_max = max(m.length for m in glitches)
+    counts = np.zeros((t_max, N_GLITCH_TYPES), dtype=int)
+    for matrix in glitches:
+        for g in GlitchType:
+            flags = matrix.record_any(g)
+            counts[: flags.size, int(g)] += flags.astype(int)
+    return counts
+
+
+def cooccurrence_matrix(glitches: DatasetGlitches) -> np.ndarray:
+    """``(m, m)`` record-level co-occurrence counts.
+
+    Entry ``[a, b]`` counts records where glitch types ``a`` and ``b`` both
+    occur (diagonal = marginal counts).
+    """
+    out = np.zeros((N_GLITCH_TYPES, N_GLITCH_TYPES), dtype=int)
+    for matrix in glitches:
+        flags = np.stack([matrix.record_any(g) for g in GlitchType], axis=1)
+        out += flags.T.astype(int) @ flags.astype(int)
+    return out
+
+
+def jaccard_overlap(
+    glitches: DatasetGlitches, a: GlitchType, b: GlitchType
+) -> float:
+    """Record-level Jaccard overlap ``|A & B| / |A | B|`` of two glitch types.
+
+    The paper notes "considerable overlap between missing and inconsistent
+    values" (Figure 3); this is the scalar version of that observation.
+    """
+    inter = 0
+    union = 0
+    for matrix in glitches:
+        fa = matrix.record_any(a)
+        fb = matrix.record_any(b)
+        inter += int((fa & fb).sum())
+        union += int((fa | fb).sum())
+    if union == 0:
+        return 0.0
+    return inter / union
+
+
+def pattern_frequencies(glitches: DatasetGlitches) -> dict[tuple[bool, ...], int]:
+    """Frequency of each record-level glitch-type combination.
+
+    Keys are ``m``-tuples of booleans ordered as
+    ``(missing, inconsistent, outlier)``; the all-False pattern counts clean
+    records. This is the simple-pattern version of the glitch-pattern mining
+    in reference [3] of the paper.
+    """
+    counter: Counter[tuple[bool, ...]] = Counter()
+    for matrix in glitches:
+        flags = np.stack([matrix.record_any(g) for g in GlitchType], axis=1)
+        for row in flags:
+            counter[tuple(bool(x) for x in row)] += 1
+    return dict(counter)
+
+
+def temporal_autocorrelation(
+    glitches: DatasetGlitches, glitch: GlitchType, max_lag: int = 10
+) -> np.ndarray:
+    """Average lag-1..max_lag autocorrelation of a glitch indicator.
+
+    Positive values confirm temporal clustering ("glitches tend to cluster
+    temporally", Section 6.1). Series whose indicator is constant contribute
+    nothing. Returns an array of length *max_lag*; lags with no usable series
+    are NaN.
+    """
+    max_lag = check_positive_int(max_lag, "max_lag")
+    sums = np.zeros(max_lag)
+    counts = np.zeros(max_lag, dtype=int)
+    for matrix in glitches:
+        flags = matrix.record_any(glitch).astype(float)
+        if flags.size < 2 or flags.std() == 0:
+            continue
+        centered = flags - flags.mean()
+        denom = float(np.dot(centered, centered))
+        for lag in range(1, min(max_lag, flags.size - 1) + 1):
+            num = float(np.dot(centered[:-lag], centered[lag:]))
+            sums[lag - 1] += num / denom
+            counts[lag - 1] += 1
+    with np.errstate(invalid="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)

@@ -1,0 +1,27 @@
+"""Sampling schemes for the experimental framework.
+
+The framework "relies on sampling [so it] will work on very large data"
+(Section 2.1.6). Whole time series are the sampling unit — "we maintained the
+temporal structure by sampling entire time series and not individual data
+points" (Section 4.2). Besides simple with-replacement sampling, the schemes
+the paper cites as pluggable are provided: differentially weighted sampling,
+bottom-k sketches [4] and priority sampling for subset sums [5].
+"""
+
+from repro.sampling.bottom_k import BottomKSketch
+from repro.sampling.priority import PrioritySample, priority_sample
+from repro.sampling.replication import TestPair, generate_test_pairs
+from repro.sampling.simple import sample_indices, sample_series
+from repro.sampling.weighted import weighted_sample_indices, weighted_sample_series
+
+__all__ = [
+    "TestPair",
+    "generate_test_pairs",
+    "sample_indices",
+    "sample_series",
+    "weighted_sample_indices",
+    "weighted_sample_series",
+    "BottomKSketch",
+    "PrioritySample",
+    "priority_sample",
+]

@@ -1,0 +1,124 @@
+"""Bottom-k sketches (Cohen & Kaplan, reference [4] of the paper).
+
+A bottom-k sketch summarises a weighted population by the k items with the
+smallest random ranks ``r_i = u_i / w_i`` (``u_i`` i.i.d. uniform). Sketches
+support unions (for distributed collection) and unbiased subset-sum
+estimation via rank-conditioning: with ``tau`` the (k+1)-smallest rank, every
+sketched item gets the Horvitz-Thompson style adjusted weight
+``max(w_i, 1/tau)``.
+
+In this library the items are time series and the weights are typically
+glitch scores — a sketch answers "how much glitch mass sits in RNC 3?"
+without touching the full population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.utils.rng import Seed, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BottomKSketch"]
+
+
+@dataclass(frozen=True)
+class _Entry:
+    key: Hashable
+    weight: float
+    rank: float
+
+
+class BottomKSketch:
+    """Bottom-k sketch over ``(key, weight)`` items."""
+
+    def __init__(self, k: int, entries: Sequence[_Entry], tau: float):
+        self.k = k
+        self._entries = sorted(entries, key=lambda e: e.rank)[:k]
+        self._tau = tau
+
+    @classmethod
+    def build(
+        cls,
+        items: Iterable[tuple[Hashable, float]],
+        k: int,
+        seed: Seed = None,
+    ) -> "BottomKSketch":
+        """Sketch the items, keeping the k smallest ranks ``u/w``."""
+        k = check_positive_int(k, "k")
+        rng = as_generator(seed)
+        entries: list[_Entry] = []
+        for key, weight in items:
+            weight = float(weight)
+            if weight < 0 or not np.isfinite(weight):
+                raise SamplingError(f"weight for {key!r} must be finite and >= 0")
+            if weight == 0:
+                continue
+            u = float(rng.random())
+            u = max(u, 1e-300)  # avoid rank 0
+            entries.append(_Entry(key=key, weight=weight, rank=u / weight))
+        entries.sort(key=lambda e: e.rank)
+        tau = entries[k].rank if len(entries) > k else float("inf")
+        return cls(k=k, entries=entries[:k], tau=tau)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def keys(self) -> list[Hashable]:
+        """Keys currently in the sketch (ascending rank order)."""
+        return [e.key for e in self._entries]
+
+    @property
+    def tau(self) -> float:
+        """The (k+1)-smallest rank; ``inf`` when fewer than k+1 items exist."""
+        return self._tau
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return any(e.key == key for e in self._entries)
+
+    # -- estimation --------------------------------------------------------------
+
+    def adjusted_weight(self, key: Hashable) -> float:
+        """Rank-conditioned unbiased weight of a sketched item (0 if absent)."""
+        for e in self._entries:
+            if e.key == key:
+                if np.isinf(self._tau):
+                    return e.weight
+                return max(e.weight, 1.0 / self._tau)
+        return 0.0
+
+    def estimate_subset_sum(self, predicate: Callable[[Hashable], bool]) -> float:
+        """Unbiased estimate of the total weight of keys satisfying *predicate*."""
+        total = 0.0
+        for e in self._entries:
+            if predicate(e.key):
+                total += e.weight if np.isinf(self._tau) else max(e.weight, 1.0 / self._tau)
+        return total
+
+    def estimate_total(self) -> float:
+        """Unbiased estimate of the whole population's weight."""
+        return self.estimate_subset_sum(lambda _key: True)
+
+    # -- composition --------------------------------------------------------------
+
+    def union(self, other: "BottomKSketch") -> "BottomKSketch":
+        """Sketch of the union of the two underlying populations.
+
+        Requires both sketches to use the same k and the keys to be disjoint
+        (the standard streams/partitions setting).
+        """
+        if other.k != self.k:
+            raise SamplingError(f"cannot union sketches with k={self.k} and k={other.k}")
+        merged = sorted(self._entries + other._entries, key=lambda e: e.rank)
+        candidates = [self._tau, other._tau]
+        if len(merged) > self.k:
+            candidates.append(merged[self.k].rank)
+        tau = min(candidates)
+        return BottomKSketch(k=self.k, entries=merged[: self.k], tau=tau)

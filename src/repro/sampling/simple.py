@@ -1,0 +1,33 @@
+"""Simple random sampling of whole time series, with replacement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import StreamDataset
+from repro.utils.rng import Seed, as_generator
+from repro.utils.validation import check_positive_int
+
+__all__ = ["sample_indices", "sample_series"]
+
+
+def sample_indices(
+    n_items: int, sample_size: int, seed: Seed = None
+) -> np.ndarray:
+    """``sample_size`` indices drawn uniformly with replacement."""
+    n_items = check_positive_int(n_items, "n_items")
+    sample_size = check_positive_int(sample_size, "sample_size")
+    rng = as_generator(seed)
+    return rng.integers(0, n_items, size=sample_size)
+
+
+def sample_series(
+    dataset: StreamDataset, sample_size: int, seed: Seed = None
+) -> StreamDataset:
+    """Sample *sample_size* whole series with replacement.
+
+    Sampling entire series (not records) preserves the temporal structure of
+    glitches within each stream (Section 4.2).
+    """
+    idx = sample_indices(len(dataset), sample_size, seed)
+    return dataset.subset(idx.tolist())

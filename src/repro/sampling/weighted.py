@@ -1,0 +1,49 @@
+"""Differentially weighted series sampling.
+
+Section 2.1.1: "The type of sampling can be geared to a user's specific needs
+by differential weighting of subsets of data to be sampled." A user may, for
+instance, over-sample series from an RNC under investigation, or weight by
+glitch score to stress-test strategies on the dirtiest streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import StreamDataset
+from repro.errors import SamplingError
+from repro.utils.rng import Seed, as_generator
+from repro.utils.validation import check_positive_int, ensure_1d
+
+__all__ = ["weighted_sample_indices", "weighted_sample_series"]
+
+
+def weighted_sample_indices(
+    weights: np.ndarray, sample_size: int, seed: Seed = None
+) -> np.ndarray:
+    """``sample_size`` indices drawn with replacement, proportional to weights."""
+    weights = ensure_1d(weights, "weights")
+    sample_size = check_positive_int(sample_size, "sample_size")
+    if np.any(weights < 0) or np.any(~np.isfinite(weights)):
+        raise SamplingError("weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise SamplingError("at least one weight must be positive")
+    rng = as_generator(seed)
+    return rng.choice(weights.size, size=sample_size, replace=True, p=weights / total)
+
+
+def weighted_sample_series(
+    dataset: StreamDataset,
+    weights: np.ndarray,
+    sample_size: int,
+    seed: Seed = None,
+) -> StreamDataset:
+    """Weighted with-replacement sample of whole series."""
+    weights = ensure_1d(weights, "weights")
+    if weights.size != len(dataset):
+        raise SamplingError(
+            f"got {weights.size} weights for {len(dataset)} series"
+        )
+    idx = weighted_sample_indices(weights, sample_size, seed)
+    return dataset.subset(idx.tolist())

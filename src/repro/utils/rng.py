@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed (``int``),
+``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
+These helpers normalise that flexibility in one place so call sites stay
+simple and deterministic experiments stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+Seed = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["Seed", "as_generator", "spawn_generators"]
+
+
+def as_generator(seed: Seed = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``Generator`` instances are passed through unchanged, so components can
+    share a stream when the caller wants correlated draws, while plain ints
+    give reproducible independent streams.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: Seed, n: int) -> list[np.random.Generator]:
+    """Spawn *n* statistically independent child generators from *seed*.
+
+    Used by the replication framework: replication ``i`` always sees the same
+    stream regardless of how many replications run or in what order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]  # type: ignore[union-attr]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

@@ -1,0 +1,69 @@
+"""Argument-validation helpers shared across the library.
+
+Each helper raises :class:`repro.errors.ValidationError` with a message that
+names the offending parameter, so errors surface at the API boundary instead
+of deep inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_positive_int",
+    "check_fraction",
+    "check_probability",
+    "ensure_1d",
+    "ensure_2d",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that *value* is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_fraction(value: Any, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a float in [0, 1], got {value!r}") from None
+    if not 0.0 <= value <= 1.0 or np.isnan(value):
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Alias of :func:`check_fraction` with probability-flavoured wording."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value!r}") from None
+    if not 0.0 <= value <= 1.0 or np.isnan(value):
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def ensure_1d(values: Any, name: str) -> np.ndarray:
+    """Coerce *values* to a 1-D float array, rejecting higher ranks."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_2d(values: Any, name: str) -> np.ndarray:
+    """Coerce *values* to a 2-D float array, rejecting other ranks."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    return arr

@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+Population construction is the expensive part of most tests, so the tiny and
+small bundles are built once per session and treated as read-only by every
+test (strategies always copy; nothing mutates a StreamDataset in place).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning.base import CleaningContext
+from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
+from repro.data.topology import NodeId
+from repro.experiments.config import build_population
+from repro.glitches.detectors import ScaleTransform
+from repro.sampling.replication import generate_test_pairs
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """A tiny generated population (100 series x 60 steps), session-shared."""
+    return build_population(scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """The small-scale population (600 series x 170 steps), session-shared."""
+    return build_population(scale="small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_pair(tiny_bundle):
+    """One replication pair from the tiny bundle."""
+    return next(
+        generate_test_pairs(tiny_bundle.dirty, tiny_bundle.ideal, 1, 12, seed=0)
+    )
+
+
+@pytest.fixture()
+def raw_context(tiny_pair):
+    """Cleaning context on the raw analysis scale."""
+    return CleaningContext(ideal=tiny_pair.ideal, transform=None, seed=7)
+
+
+@pytest.fixture()
+def log_context(tiny_pair):
+    """Cleaning context with the paper's log-attr1 analysis scale."""
+    return CleaningContext(
+        ideal=tiny_pair.ideal, transform=ScaleTransform.log_attr1(), seed=7
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic generator for ad-hoc draws."""
+    return np.random.default_rng(123)
+
+
+def make_series(values, node=NodeId(0, 0, 0), truth=None) -> TimeSeries:
+    """Build a TimeSeries from a plain nested list."""
+    return TimeSeries(node, np.asarray(values, dtype=float), truth=truth)
+
+
+def make_dataset(*value_blocks) -> StreamDataset:
+    """Build a StreamDataset of series from nested lists."""
+    return StreamDataset(
+        make_series(block, NodeId(0, 0, k)) for k, block in enumerate(value_blocks)
+    )
+
+
+@pytest.fixture()
+def simple_series():
+    """A 5-step, 3-attribute series with one missing and one negative value."""
+    return make_series(
+        [
+            [10.0, 2.0, 0.95],
+            [np.nan, 3.0, 0.90],
+            [-5.0, 1.0, 0.99],
+            [12.0, np.nan, 1.20],
+            [11.0, 2.5, np.nan],
+        ]
+    )

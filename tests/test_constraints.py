@@ -1,0 +1,128 @@
+"""Inconsistency constraint DSL — the detector f_I."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstraintError
+from repro.glitches.constraints import (
+    ConstraintSet,
+    CrossAttributeConstraint,
+    LowerBoundConstraint,
+    NotPopulatedIfConstraint,
+    PredicateConstraint,
+    RangeConstraint,
+    paper_constraints,
+)
+
+from conftest import make_series
+
+
+@pytest.fixture()
+def series():
+    return make_series(
+        [
+            [10.0, 2.0, 0.95],   # clean
+            [-3.0, 1.0, 0.90],   # attr1 < 0           -> constraint 1
+            [5.0, 4.0, 1.30],    # attr3 > 1           -> constraint 2
+            [7.0, 2.0, np.nan],  # attr1 populated, attr3 missing -> constraint 3
+            [np.nan, 2.0, np.nan],  # both missing -> no inconsistency
+            [8.0, 3.0, -0.10],   # attr3 < 0           -> constraint 2
+        ]
+    )
+
+
+class TestLowerBound:
+    def test_flags_violations_on_right_column(self, series):
+        mask = LowerBoundConstraint("attr1", 0.0).evaluate(series)
+        assert mask[:, 0].tolist() == [False, True, False, False, False, False]
+        assert not mask[:, 1].any() and not mask[:, 2].any()
+
+    def test_missing_never_violates(self, series):
+        mask = LowerBoundConstraint("attr1", 0.0).evaluate(series)
+        assert not mask[4, 0]
+
+    def test_strict_flags_boundary(self):
+        s = make_series([[0.0, 1.0, 0.5]])
+        assert not LowerBoundConstraint("attr1", 0.0).evaluate(s)[0, 0]
+        assert LowerBoundConstraint("attr1", 0.0, strict=True).evaluate(s)[0, 0]
+
+    def test_unknown_attribute_raises(self, series):
+        with pytest.raises(ConstraintError):
+            LowerBoundConstraint("nope", 0.0).evaluate(series)
+
+    def test_describe(self):
+        assert "attr1 >= 0" in LowerBoundConstraint("attr1", 0.0).describe()
+
+
+class TestRange:
+    def test_flags_both_sides(self, series):
+        mask = RangeConstraint("attr3", 0.0, 1.0).evaluate(series)
+        assert mask[:, 2].tolist() == [False, False, True, False, False, True]
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ConstraintError):
+            RangeConstraint("attr3", 1.0, 0.0)
+
+
+class TestNotPopulatedIf:
+    def test_flags_populated_with_missing_other(self, series):
+        mask = NotPopulatedIfConstraint("attr1", other="attr3").evaluate(series)
+        assert mask[:, 0].tolist() == [False, False, False, True, False, False]
+
+    def test_same_attribute_raises(self):
+        with pytest.raises(ConstraintError):
+            NotPopulatedIfConstraint("attr1", other="attr1")
+
+
+class TestCrossAttribute:
+    def test_ge_violation(self):
+        s = make_series([[1.0, 5.0, 0.5], [5.0, 1.0, 0.5]])
+        mask = CrossAttributeConstraint("attr1", ">=", "attr2").evaluate(s)
+        assert mask[:, 0].tolist() == [True, False]
+
+    def test_missing_side_never_violates(self):
+        s = make_series([[np.nan, 5.0, 0.5], [1.0, np.nan, 0.5]])
+        mask = CrossAttributeConstraint("attr1", ">=", "attr2").evaluate(s)
+        assert not mask.any()
+
+    def test_bad_operator_raises(self):
+        with pytest.raises(ConstraintError):
+            CrossAttributeConstraint("attr1", "!!", "attr2")
+
+
+class TestPredicate:
+    def test_custom_predicate(self, series):
+        c = PredicateConstraint(
+            "attr2",
+            lambda v: np.nan_to_num(v[:, 1]) > 3.0,
+            "attr2 must be <= 3",
+        )
+        mask = c.evaluate(series)
+        assert mask[:, 1].tolist() == [False, False, True, False, False, False]
+
+    def test_wrong_shape_raises(self, series):
+        c = PredicateConstraint("attr2", lambda v: np.zeros((2,), bool), "bad")
+        with pytest.raises(ConstraintError):
+            c.evaluate(series)
+
+
+class TestConstraintSet:
+    def test_paper_constraints_or_combined(self, series):
+        mask = paper_constraints().evaluate(series)
+        flagged_records = mask.any(axis=1)
+        assert flagged_records.tolist() == [False, True, True, True, False, True]
+
+    def test_detect_alias(self, series):
+        cs = paper_constraints()
+        assert np.array_equal(cs.detect(series), cs.evaluate(series))
+
+    def test_empty_set_flags_nothing(self, series):
+        assert not ConstraintSet([]).evaluate(series).any()
+
+    def test_describe_lists_rules(self):
+        assert len(paper_constraints().describe()) == 3
+
+    def test_len_and_iter(self):
+        cs = paper_constraints()
+        assert len(cs) == 3
+        assert len(list(cs)) == 3

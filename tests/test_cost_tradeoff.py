@@ -1,0 +1,141 @@
+"""Cost sweeps (Figure 7) and the three-dimensional trade-off analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.registry import strategy_by_name
+from repro.core.cost import PAPER_COST_FRACTIONS, cost_sweep
+from repro.core.evaluation import StrategySummary
+from repro.core.framework import ExperimentConfig, ExperimentRunner
+from repro.core.tradeoff import (
+    TradeoffPoint,
+    knee_point,
+    pareto_front,
+    viable_strategies,
+)
+from repro.errors import ExperimentError
+from repro.glitches.types import GlitchType
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny_bundle):
+    cfg = ExperimentConfig(n_replications=3, sample_size=10, seed=0)
+    runner = ExperimentRunner(tiny_bundle.dirty, tiny_bundle.ideal, config=cfg)
+    return cost_sweep(runner, strategy_by_name("strategy5"), (1.0, 0.5, 0.2, 0.0))
+
+
+class TestCostSweep:
+    def test_paper_fractions(self):
+        assert PAPER_COST_FRACTIONS == (1.0, 0.5, 0.2, 0.0)
+
+    def test_outcomes_per_fraction(self, sweep):
+        for f in sweep.fractions:
+            assert len(sweep.at_fraction(f)) == 3
+
+    def test_zero_fraction_is_noop(self, sweep):
+        for o in sweep.at_fraction(0.0):
+            assert o.improvement == pytest.approx(0.0, abs=1e-9)
+            assert o.distortion == pytest.approx(0.0, abs=1e-9)
+
+    def test_improvement_monotone_in_fraction(self, sweep):
+        means = [s.improvement_mean for s in sorted(sweep.summaries(), key=lambda s: s.cost_fraction)]
+        assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_distortion_monotone_in_fraction(self, sweep):
+        means = [s.distortion_mean for s in sorted(sweep.summaries(), key=lambda s: s.cost_fraction)]
+        assert all(b >= a - 0.02 for a, b in zip(means, means[1:]))
+
+    def test_marginal_gains_structure(self, sweep):
+        gains = sweep.marginal_gains()
+        assert [g[0] for g in gains] == [0.2, 0.5, 1.0]
+
+    def test_summaries_labelled_with_percent(self, sweep):
+        labels = [s.strategy for s in sweep.summaries()]
+        assert "strategy5@50%" in labels
+
+    def test_rejects_empty_fractions(self, tiny_bundle):
+        runner = ExperimentRunner(tiny_bundle.dirty, tiny_bundle.ideal)
+        with pytest.raises(ExperimentError):
+            cost_sweep(runner, strategy_by_name("strategy5"), ())
+
+    def test_rejects_duplicate_fractions(self, tiny_bundle):
+        runner = ExperimentRunner(tiny_bundle.dirty, tiny_bundle.ideal)
+        with pytest.raises(ExperimentError):
+            cost_sweep(runner, strategy_by_name("strategy5"), (0.5, 0.5))
+
+
+def point(name, imp, dist, cost=1.0):
+    return TradeoffPoint(strategy=name, improvement=imp, distortion=dist, cost=cost)
+
+
+class TestPareto:
+    def test_dominated_point_excluded(self):
+        front = pareto_front([point("good", 10, 1.0), point("bad", 5, 2.0)])
+        assert [p.strategy for p in front] == ["good"]
+
+    def test_incomparable_points_kept(self):
+        front = pareto_front(
+            [point("high-imp", 10, 3.0), point("low-dist", 5, 0.5)]
+        )
+        assert len(front) == 2
+
+    def test_cost_axis_matters(self):
+        front = pareto_front(
+            [point("cheap", 10, 1.0, cost=0.2), point("dear", 10, 1.0, cost=1.0)]
+        )
+        assert [p.strategy for p in front] == ["cheap"]
+
+    def test_duplicate_points_both_kept(self):
+        front = pareto_front([point("a", 1, 1), point("b", 1, 1)])
+        assert len(front) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            pareto_front([])
+
+    def test_accepts_summaries(self):
+        s = StrategySummary(
+            strategy="s",
+            n_replications=3,
+            improvement_mean=4.0,
+            improvement_std=0.1,
+            distortion_mean=0.5,
+            distortion_std=0.1,
+            dirty_fractions={g: 0.1 for g in GlitchType},
+            treated_fractions={g: 0.0 for g in GlitchType},
+            cost_fraction=1.0,
+        )
+        front = pareto_front([s])
+        assert front[0].strategy == "s"
+
+
+class TestViable:
+    def test_constraints_filter_front(self):
+        pts = [point("a", 10, 3.0), point("b", 5, 0.5)]
+        assert [p.strategy for p in viable_strategies(pts, max_distortion=1.0)] == ["b"]
+        assert [p.strategy for p in viable_strategies(pts, min_improvement=8)] == ["a"]
+
+    def test_cost_cap(self):
+        pts = [point("a", 10, 1.0, cost=1.0), point("b", 8, 1.0, cost=0.2)]
+        assert [p.strategy for p in viable_strategies(pts, max_cost=0.5)] == ["b"]
+
+    def test_no_survivors_is_empty(self):
+        pts = [point("a", 10, 3.0)]
+        assert viable_strategies(pts, max_distortion=0.1) == []
+
+
+class TestKnee:
+    def test_picks_best_ratio(self):
+        pts = [
+            point("weak", 1, 0.1),
+            point("knee", 9, 0.5),
+            point("overkill", 10, 3.0),
+        ]
+        assert knee_point(pts).strategy == "knee"
+
+    def test_single_point_returned(self):
+        assert knee_point([point("only", 1, 1)]).strategy == "only"
+
+    def test_on_real_sweep(self, sweep):
+        k = knee_point(sweep.summaries())
+        assert k.cost in (0.2, 0.5, 1.0)

@@ -1,0 +1,109 @@
+"""StreamDataset: pooling, subsetting, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import StreamDataset
+from repro.errors import DataShapeError, ValidationError
+
+from conftest import make_dataset, make_series
+
+
+@pytest.fixture()
+def dataset():
+    return make_dataset(
+        [[1.0, 2.0, 0.9], [np.nan, 3.0, 0.8]],
+        [[4.0, 5.0, 0.7], [6.0, np.nan, 0.6], [7.0, 8.0, np.nan]],
+    )
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            StreamDataset([])
+
+    def test_mismatched_attributes_raise(self):
+        import numpy as np
+
+        from repro.data.stream import TimeSeries
+        from repro.data.topology import NodeId
+
+        a = TimeSeries(NodeId(0, 0, 0), np.zeros((1, 3)), attributes=("x", "y", "z"))
+        b = make_series([[1.0, 2.0, 3.0]])
+        with pytest.raises(DataShapeError):
+            StreamDataset([a, b])
+
+    def test_lengths_may_differ(self, dataset):
+        assert [s.length for s in dataset] == [2, 3]
+
+    def test_counts(self, dataset):
+        assert len(dataset) == 2
+        assert dataset.n_records == 5
+        assert dataset.n_attributes == 3
+        assert dataset.max_length == 3
+
+
+class TestPooling:
+    def test_pooled_none_keeps_all_rows(self, dataset):
+        assert dataset.pooled("none").shape == (5, 3)
+
+    def test_pooled_any_drops_incomplete(self, dataset):
+        pooled = dataset.pooled("any")
+        assert pooled.shape == (2, 3)
+        assert not np.isnan(pooled).any()
+
+    def test_pooled_all_drops_fully_missing(self):
+        d = make_dataset([[np.nan, np.nan, np.nan], [1.0, 2.0, 3.0]])
+        assert d.pooled("all").shape == (1, 3)
+
+    def test_pooled_bad_mode_raises(self, dataset):
+        with pytest.raises(ValidationError):
+            dataset.pooled("some")
+
+    def test_pooled_column(self, dataset):
+        col = dataset.pooled_column("attr1")
+        assert col.tolist() == [1.0, 4.0, 6.0, 7.0]
+
+    def test_pooled_column_keep_nan(self, dataset):
+        col = dataset.pooled_column("attr1", dropna=False)
+        assert col.shape == (5,)
+
+    def test_missing_fraction(self, dataset):
+        assert dataset.missing_fraction == pytest.approx(3 / 15)
+
+
+class TestDerivation:
+    def test_subset_with_repeats(self, dataset):
+        sub = dataset.subset([1, 1, 0])
+        assert len(sub) == 3
+        assert sub[0].length == 3
+
+    def test_subset_empty_raises(self, dataset):
+        with pytest.raises(ValidationError):
+            dataset.subset([])
+
+    def test_subset_out_of_range_raises(self, dataset):
+        with pytest.raises(ValidationError):
+            dataset.subset([5])
+
+    def test_copy_is_deep(self, dataset):
+        c = dataset.copy()
+        c[0].values[0, 0] = -99.0
+        assert dataset[0].values[0, 0] == 1.0
+
+    def test_map(self, dataset):
+        out = dataset.map(lambda s: s.with_values(s.values * 2))
+        assert out[0].values[0, 0] == 2.0
+        assert dataset[0].values[0, 0] == 1.0
+
+    def test_transformed(self, dataset):
+        out = dataset.transformed("attr1", np.log)
+        assert out[0].values[0, 0] == pytest.approx(0.0)
+
+    def test_concat(self, dataset):
+        both = StreamDataset.concat([dataset, dataset])
+        assert len(both) == 4
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValidationError):
+            StreamDataset.concat([])

@@ -1,0 +1,152 @@
+"""DetectorSuite, scale transforms, and ideal-set identification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.glitches.detectors import (
+    DetectorSuite,
+    ScaleTransform,
+    identify_ideal,
+    partition_by_cleanliness,
+)
+from repro.glitches.types import GlitchType
+
+from conftest import make_dataset, make_series
+
+
+class TestScaleTransform:
+    def test_log_attr1_forward_inverse_roundtrip(self):
+        tr = ScaleTransform.log_attr1()
+        s = make_series([[10.0, 2.0, 0.9], [20.0, 3.0, 0.8]])
+        back = tr.inverse_values(
+            tr.forward_values(s.values, s.attributes), s.attributes
+        )
+        assert np.allclose(back, s.values)
+
+    def test_forward_negative_becomes_nan(self):
+        tr = ScaleTransform.log_attr1()
+        s = make_series([[-5.0, 2.0, 0.9]])
+        out = tr.forward_values(s.values, s.attributes)
+        assert np.isnan(out[0, 0])
+        assert out[0, 1] == 2.0
+
+    def test_apply_dataset(self, tiny_bundle):
+        tr = ScaleTransform.log_attr1()
+        scaled = tr.apply_dataset(tiny_bundle.ideal)
+        raw = tiny_bundle.ideal.pooled_column("attr1")
+        log = scaled.pooled_column("attr1")
+        assert np.median(log) == pytest.approx(np.log(np.median(raw)), rel=0.05)
+
+    def test_missing_inverse_raises(self):
+        tr = ScaleTransform("attr1", np.log, "log-only")
+        with pytest.raises(ValidationError):
+            tr.inverse_values(np.zeros((1, 3)), ("attr1", "attr2", "attr3"))
+
+    def test_absent_attribute_is_noop(self):
+        tr = ScaleTransform("zzz", np.log, "zzz", inverse=np.exp)
+        values = np.ones((2, 3))
+        assert np.array_equal(tr.forward_values(values, ("a", "b", "c")), values)
+
+
+class TestDetectorSuite:
+    def test_annotation_shape(self, tiny_bundle):
+        series = tiny_bundle.dirty[0]
+        matrix = tiny_bundle.suite.annotate(series)
+        assert matrix.bits.shape == (series.length, 3, 3)
+
+    def test_missing_plane_matches_nan(self, tiny_bundle):
+        series = tiny_bundle.dirty[0]
+        matrix = tiny_bundle.suite.annotate(series)
+        assert np.array_equal(
+            matrix.plane(GlitchType.MISSING), np.isnan(series.values)
+        )
+
+    def test_no_outlier_detector_means_no_outliers(self, tiny_bundle):
+        suite = DetectorSuite(outlier_detector=None)
+        matrix = suite.annotate(tiny_bundle.dirty[0])
+        assert not matrix.plane(GlitchType.OUTLIER).any()
+
+    def test_transform_only_changes_outlier_plane(self, tiny_bundle):
+        """Table 1: missing/inconsistent rates identical with and without log."""
+        raw = DetectorSuite.from_ideal(tiny_bundle.ideal)
+        log = DetectorSuite.from_ideal(
+            tiny_bundle.ideal, transform=ScaleTransform.log_attr1()
+        )
+        for series in tiny_bundle.dirty.series[:10]:
+            a = raw.annotate(series)
+            b = log.annotate(series)
+            assert np.array_equal(
+                a.plane(GlitchType.MISSING), b.plane(GlitchType.MISSING)
+            )
+            assert np.array_equal(
+                a.plane(GlitchType.INCONSISTENT), b.plane(GlitchType.INCONSISTENT)
+            )
+
+    def test_log_scale_flags_dips(self, small_bundle):
+        """Log-scale outlier rate exceeds raw-scale rate (Table 1's 5% vs 17%)."""
+        raw = DetectorSuite.from_ideal(small_bundle.ideal)
+        log = DetectorSuite.from_ideal(
+            small_bundle.ideal, transform=ScaleTransform.log_attr1()
+        )
+        raw_rate = raw.annotate_dataset(small_bundle.dirty).record_fraction(
+            GlitchType.OUTLIER
+        )
+        log_rate = log.annotate_dataset(small_bundle.dirty).record_fraction(
+            GlitchType.OUTLIER
+        )
+        assert log_rate > 1.5 * raw_rate
+
+
+class TestPartition:
+    def test_partition_disjoint_and_complete(self, tiny_bundle):
+        part = partition_by_cleanliness(
+            tiny_bundle.population, tiny_bundle.suite, max_fraction=0.05
+        )
+        assert set(part.dirty_indices).isdisjoint(part.ideal_indices)
+        assert len(part.dirty_indices) + len(part.ideal_indices) == len(
+            tiny_bundle.population
+        )
+
+    def test_ideal_series_meet_requirement(self, tiny_bundle):
+        part = partition_by_cleanliness(
+            tiny_bundle.population, tiny_bundle.suite, max_fraction=0.05
+        )
+        for series in part.ideal.series[:10]:
+            matrix = tiny_bundle.suite.annotate(series)
+            for g in GlitchType:
+                assert matrix.record_fraction(g) < 0.05
+
+    def test_all_clean_raises(self, tiny_bundle):
+        suite = DetectorSuite(outlier_detector=None)
+        clean = tiny_bundle.clean
+        with pytest.raises(ValidationError):
+            partition_by_cleanliness(clean, suite, max_fraction=0.05)
+
+    def test_impossible_threshold_raises(self, tiny_bundle):
+        with pytest.raises(ValidationError):
+            partition_by_cleanliness(
+                tiny_bundle.population, tiny_bundle.suite, max_fraction=0.0
+            )
+
+    def test_ideal_fraction_property(self, tiny_bundle):
+        part = tiny_bundle.partition
+        assert part.ideal_fraction == pytest.approx(
+            len(part.ideal_indices) / len(tiny_bundle.population)
+        )
+
+
+class TestIdentifyIdeal:
+    def test_returns_fitted_suite(self, tiny_bundle):
+        part, suite = identify_ideal(tiny_bundle.population)
+        assert suite.outlier_detector is not None
+        assert len(part.ideal) > 0
+
+    def test_fixed_point_is_stable(self, tiny_bundle):
+        part1, suite1 = identify_ideal(tiny_bundle.population, max_iter=3)
+        part2 = partition_by_cleanliness(tiny_bundle.population, suite1)
+        assert part1.ideal_indices == part2.ideal_indices
+
+    def test_rejects_bad_max_iter(self, tiny_bundle):
+        with pytest.raises(ValidationError):
+            identify_ideal(tiny_bundle.population, max_iter=0)

@@ -1,0 +1,161 @@
+"""KL, Jensen-Shannon, Mahalanobis, KS and the approximate EMDs."""
+
+import numpy as np
+import pytest
+
+from repro.distance.emd import emd_1d
+from repro.distance.emd_approx import MarginalEmd, SlicedEmd
+from repro.distance.kl import JensenShannonDistance, KLDivergence
+from repro.distance.ks import KolmogorovSmirnovDistance
+from repro.distance.mahalanobis import MahalanobisDistance
+from repro.errors import DistanceError
+
+
+@pytest.fixture()
+def pair(rng):
+    x = rng.normal(size=(800, 3))
+    y = rng.normal(0.7, 1.2, size=(800, 3))
+    return x, y
+
+
+class TestKL:
+    def test_identity_near_zero(self, rng):
+        x = rng.normal(size=(500, 2))
+        assert KLDivergence()(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self, pair):
+        x, y = pair
+        assert KLDivergence()(x, y) > 0.05
+
+    def test_asymmetric(self, pair):
+        x, y = pair
+        kl = KLDivergence()
+        assert kl(x, y) != pytest.approx(kl(y, x), rel=1e-3)
+
+    def test_symmetrized_is_symmetric_in_histograms(self, rng):
+        # Use standardize=False so the binning frame does not depend on the
+        # argument order.
+        x = rng.normal(size=(500, 2))
+        y = rng.normal(0.5, 1.0, size=(500, 2))
+        kl = KLDivergence(symmetrized=True, standardize=False)
+        assert kl(x, y) == pytest.approx(kl(y, x), rel=1e-9)
+
+    def test_requires_positive_pseudocount(self):
+        with pytest.raises(DistanceError):
+            KLDivergence(pseudo_count=0.0)
+
+    def test_more_different_more_divergent(self, rng):
+        x = rng.normal(size=(800, 1))
+        near = KLDivergence()(x, x + 0.3)
+        far = KLDivergence()(x, x + 3.0)
+        assert far > near
+
+
+class TestJensenShannon:
+    def test_identity_zero(self, rng):
+        x = rng.normal(size=(400, 2))
+        assert JensenShannonDistance()(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded_by_sqrt_log2(self, pair):
+        x, y = pair
+        assert JensenShannonDistance()(x, y) <= np.sqrt(np.log(2)) + 1e-9
+
+    def test_symmetric_without_standardize(self, rng):
+        x = rng.normal(size=(400, 2))
+        y = rng.normal(1.0, 2.0, size=(400, 2))
+        js = JensenShannonDistance(standardize=False)
+        assert js(x, y) == pytest.approx(js(y, x), rel=1e-9)
+
+
+class TestMahalanobis:
+    def test_identity_zero(self, rng):
+        x = rng.normal(size=(300, 3))
+        assert MahalanobisDistance()(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unit_shift_in_unit_covariance(self, rng):
+        x = rng.normal(size=(100_000, 2))
+        y = x + np.array([1.0, 0.0])
+        assert MahalanobisDistance()(x, y) == pytest.approx(1.0, rel=0.05)
+
+    def test_scale_invariant(self, rng):
+        x = rng.normal(size=(5000, 2))
+        y = x + np.array([0.5, 0.2])
+        d1 = MahalanobisDistance()(x, y)
+        d2 = MahalanobisDistance()(x * 100, y * 100)
+        assert d1 == pytest.approx(d2, rel=1e-6)
+
+    def test_blind_to_mean_preserving_spread(self, rng):
+        """Why EMD beats Mahalanobis as a distortion metric: a symmetric
+        variance explosion with the same mean is almost invisible."""
+        x = rng.normal(size=(5000, 1))
+        y = x * 5.0
+        assert MahalanobisDistance()(x, y) < 0.2
+
+    def test_rejects_negative_ridge(self):
+        with pytest.raises(DistanceError):
+            MahalanobisDistance(ridge=-1.0)
+
+    def test_tiny_reference_raises(self):
+        with pytest.raises(DistanceError):
+            MahalanobisDistance()(np.zeros((1, 2)), np.zeros((5, 2)))
+
+
+class TestKS:
+    def test_identity_zero(self, rng):
+        x = rng.normal(size=(200, 2))
+        assert KolmogorovSmirnovDistance()(x, x.copy()) == 0.0
+
+    def test_bounded_by_one(self, pair):
+        x, y = pair
+        assert 0.0 <= KolmogorovSmirnovDistance()(x, y) <= 1.0
+
+    def test_disjoint_supports_give_one(self):
+        x = np.zeros((50, 1))
+        y = np.ones((50, 1))
+        assert KolmogorovSmirnovDistance()(x, y) == pytest.approx(1.0)
+
+    def test_insensitive_to_distance_moved(self, rng):
+        """KS only counts how much mass moved, not how far — the contrast
+        with EMD the ablation bench explores."""
+        x = rng.normal(size=(1000, 1))
+        near = np.where(x > 2.0, 2.0, x)
+        far = np.where(x > 2.0, 50.0, x)
+        ks = KolmogorovSmirnovDistance()
+        assert ks(x, near) == pytest.approx(ks(x, far), abs=0.02)
+
+
+class TestSlicedEmd:
+    def test_identity_zero(self, rng):
+        x = rng.normal(size=(300, 3))
+        assert SlicedEmd()(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic_given_seed(self, pair):
+        x, y = pair
+        assert SlicedEmd(seed=5)(x, y) == SlicedEmd(seed=5)(x, y)
+
+    def test_1d_equals_exact(self, rng):
+        x = rng.normal(size=400)
+        y = rng.normal(1.0, 1.0, 400)
+        sliced = SlicedEmd(standardize=False)(x, y)
+        assert sliced == pytest.approx(emd_1d(x, y), rel=1e-9)
+
+    def test_correlates_with_exact_emd(self, rng):
+        from repro.distance.emd import EarthMoverDistance
+
+        x = rng.normal(size=(600, 2))
+        shifts = [0.2, 1.0, 2.5]
+        exact = [EarthMoverDistance(n_bins=16)(x, x + s) for s in shifts]
+        sliced = [SlicedEmd(n_projections=64)(x, x + s) for s in shifts]
+        assert np.argsort(exact).tolist() == np.argsort(sliced).tolist()
+
+
+class TestMarginalEmd:
+    def test_identity_zero(self, rng):
+        x = rng.normal(size=(300, 3))
+        assert MarginalEmd()(x, x.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_average_of_univariate_distances(self, rng):
+        x = rng.normal(size=(500, 2))
+        y = x + np.array([1.0, 3.0])
+        d = MarginalEmd(standardize=False)(x, y)
+        assert d == pytest.approx(2.0, rel=1e-6)

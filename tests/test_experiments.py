@@ -1,0 +1,147 @@
+"""Experiment drivers and reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import ExperimentConfig
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    SCALES,
+    build_population,
+    experiment_config,
+    scale_from_env,
+)
+from repro.experiments.paper import (
+    collect_treatment_scatter,
+    figure3_counts,
+    figure4_stats,
+    figure5_stats,
+    run_figure6,
+    run_figure7,
+    run_table1,
+)
+from repro.experiments.report import (
+    render_cost_summary,
+    render_counts_series,
+    render_strategy_summaries,
+    render_table1,
+)
+from repro.cleaning.registry import strategy_by_name
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(n_replications=2, sample_size=8, seed=0)
+
+
+class TestScales:
+    def test_three_presets(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_paper_preset_is_paper_scale(self):
+        preset = SCALES["paper"]
+        assert preset.generator.n_sectors == 20000
+        assert preset.n_replications == 50
+        assert preset.sample_size == 100
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env() == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ExperimentError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env(default="small") == "small"
+
+    def test_build_population_rejects_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            build_population(scale="huge")
+
+    def test_experiment_config_override(self):
+        cfg = experiment_config("tiny", sample_size=99)
+        assert cfg.sample_size == 99
+
+    def test_bundle_properties(self, tiny_bundle):
+        assert len(tiny_bundle.dirty) + len(tiny_bundle.ideal) == len(
+            tiny_bundle.population
+        )
+        assert tiny_bundle.scale == "tiny"
+
+
+class TestFigure3:
+    def test_counts_shape_and_scale(self, tiny_bundle):
+        counts = figure3_counts(tiny_bundle, n_replications=2, sample_size=10, seed=0)
+        assert counts.shape == (tiny_bundle.dirty.max_length, 3)
+        # 2 runs x 10 series = 20 records max per time step
+        assert counts.max() <= 20
+
+    def test_render_counts(self, tiny_bundle):
+        counts = figure3_counts(tiny_bundle, n_replications=1, sample_size=5, seed=0)
+        text = render_counts_series(counts, stride=20, title="fig3")
+        assert "missing" in text and "outlier" in text and "fig3" in text
+
+
+class TestScatter:
+    def test_categories_partition_cells(self, tiny_bundle, cfg):
+        scatter = collect_treatment_scatter(
+            tiny_bundle, strategy_by_name("strategy1"), "attr1", cfg
+        )
+        assert scatter.n_imputed > 0
+        assert scatter.untouched.size > 0
+
+    def test_figure4_statistics(self, tiny_bundle, cfg):
+        raw = figure4_stats(tiny_bundle, log_transform=False, config=cfg)
+        log = figure4_stats(tiny_bundle, log_transform=True, config=cfg)
+        # Figure 4a: negatives imputed on the raw scale only.
+        assert raw["frac_imputed_negative"] > 0.0
+        assert log["frac_imputed_negative"] == 0.0
+        # Section 5.3 tail flip.
+        assert raw["frac_repaired_upper"] > raw["frac_repaired_lower"]
+        assert log["frac_repaired_lower"] > log["frac_repaired_upper"]
+
+    def test_figure5_statistics(self, tiny_bundle, cfg):
+        s1 = figure5_stats(tiny_bundle, "strategy1", config=cfg)
+        s2 = figure5_stats(tiny_bundle, "strategy2", config=cfg)
+        # Figure 5: the imputer plants ratios above 1 under both strategies;
+        # strategy 2 ignores outliers entirely.
+        assert s1["frac_imputed_above_one"] > 0.05
+        assert s2["frac_imputed_above_one"] > 0.05
+        assert s2["n_repaired"] == 0
+
+
+class TestFigure6And7:
+    def test_run_figure6_result(self, tiny_bundle, cfg):
+        result = run_figure6(tiny_bundle, cfg)
+        assert len(result.outcomes) == 2 * 5
+        text = render_strategy_summaries(result.summaries(), title="t")
+        assert "strategy1" in text and "Winsorize and impute" in text
+
+    def test_run_figure7_result(self, tiny_bundle, cfg):
+        sweep = run_figure7(tiny_bundle, cfg, fractions=(1.0, 0.0))
+        assert sweep.strategy == "strategy1"
+        text = render_cost_summary(sweep, title="fig7")
+        assert "100%" in text and "0%" in text
+
+    def test_run_table1_default_configs(self, tiny_bundle, monkeypatch):
+        # shrink the default configs through a custom dict for speed
+        configs = {
+            "n=8, log(attr1)": ExperimentConfig(
+                n_replications=2, sample_size=8, log_transform=True, seed=0
+            ),
+            "n=8, no log": ExperimentConfig(
+                n_replications=2, sample_size=8, log_transform=False, seed=0
+            ),
+        }
+        results = run_table1(tiny_bundle, configs)
+        assert set(results) == set(configs)
+        text = render_table1(results)
+        assert "strategy5" in text and "n=8, no log" in text
+
+    def test_table1_text_has_numeric_grid(self, tiny_bundle):
+        configs = {
+            "c": ExperimentConfig(n_replications=1, sample_size=6, seed=0)
+        }
+        text = render_table1(run_table1(tiny_bundle, configs))
+        assert "Miss.Dirty" in text
+        # five strategy rows
+        assert sum(1 for line in text.splitlines() if "strategy" in line) == 5

@@ -1,0 +1,102 @@
+"""The glitch index G(D): weights, normalisation, improvement."""
+
+import numpy as np
+import pytest
+
+from repro.core.glitch_index import (
+    GlitchWeights,
+    glitch_improvement,
+    glitch_index,
+    series_glitch_score,
+    series_glitch_scores,
+)
+from repro.errors import ValidationError
+from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType
+
+
+def matrix_with(missing=0, inconsistent=0, outliers=0, length=10, v=3):
+    bits = np.zeros((length, v, 3), dtype=bool)
+    bits[:missing, 0, int(GlitchType.MISSING)] = True
+    bits[:inconsistent, 1, int(GlitchType.INCONSISTENT)] = True
+    bits[:outliers, 2, int(GlitchType.OUTLIER)] = True
+    return GlitchMatrix(bits)
+
+
+class TestWeights:
+    def test_paper_defaults(self):
+        w = GlitchWeights()
+        assert (w.missing, w.inconsistent, w.outlier) == (0.25, 0.25, 0.5)
+
+    def test_as_array_order(self):
+        arr = GlitchWeights(0.1, 0.2, 0.7).as_array()
+        assert arr.tolist() == [0.1, 0.2, 0.7]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            GlitchWeights(missing=-0.1)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            GlitchWeights(0.0, 0.0, 0.0)
+
+
+class TestSeriesScore:
+    def test_formula(self):
+        # 2/10 missing on attr1, 4/10 inconsistent on attr2, 1/10 outlier.
+        m = matrix_with(missing=2, inconsistent=4, outliers=1)
+        score = series_glitch_score(m)
+        assert score == pytest.approx(0.25 * 0.2 + 0.25 * 0.4 + 0.5 * 0.1)
+
+    def test_length_normalisation(self):
+        """Same glitch *fractions* at different lengths score identically —
+        the paper's equal-contribution normalisation (Section 3.4)."""
+        short = matrix_with(missing=1, length=5)
+        long = matrix_with(missing=2, length=10)
+        assert series_glitch_score(short) == pytest.approx(series_glitch_score(long))
+
+    def test_custom_weights(self):
+        m = matrix_with(outliers=5)
+        assert series_glitch_score(m, GlitchWeights(0, 0, 1.0)) == pytest.approx(0.5)
+
+    def test_clean_is_zero(self):
+        assert series_glitch_score(GlitchMatrix.empty(10, 3)) == 0.0
+
+    def test_scores_vector(self):
+        scores = series_glitch_scores(
+            DatasetGlitches([matrix_with(missing=5), GlitchMatrix.empty(10, 3)])
+        )
+        assert scores.shape == (2,)
+        assert scores[1] == 0.0
+
+
+class TestGlitchIndex:
+    def test_additive_over_series(self, tiny_bundle):
+        suite = tiny_bundle.suite
+        total = glitch_index(tiny_bundle.dirty, suite)
+        manual = sum(
+            series_glitch_score(suite.annotate(s)) for s in tiny_bundle.dirty
+        )
+        assert total == pytest.approx(manual)
+
+    def test_ideal_scores_below_dirty(self, tiny_bundle):
+        suite = tiny_bundle.suite
+        dirty_rate = glitch_index(tiny_bundle.dirty, suite) / len(tiny_bundle.dirty)
+        ideal_rate = glitch_index(tiny_bundle.ideal, suite) / len(tiny_bundle.ideal)
+        assert ideal_rate < dirty_rate
+
+    def test_improvement_zero_for_identity(self, tiny_bundle):
+        suite = tiny_bundle.suite
+        assert glitch_improvement(
+            tiny_bundle.dirty, tiny_bundle.dirty, suite
+        ) == pytest.approx(0.0)
+
+    def test_improvement_positive_after_cleaning(self, tiny_pair, raw_context):
+        from repro.cleaning.registry import strategy_by_name
+        from repro.glitches.detectors import DetectorSuite
+        from repro.glitches.outliers import SigmaOutlierDetector
+
+        treated = strategy_by_name("strategy5").clean(tiny_pair.dirty, raw_context)
+        suite = DetectorSuite(
+            outlier_detector=SigmaOutlierDetector(raw_context.limits)
+        )
+        assert glitch_improvement(tiny_pair.dirty, treated, suite) > 0

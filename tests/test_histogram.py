@@ -1,0 +1,127 @@
+"""Shared-support binning for distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distance.histogram import HistogramBinner, SparseHistogram
+from repro.errors import DistanceError
+
+
+def sample_2d(seed, n=200, d=2):
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+class TestSparseHistogram:
+    def test_valid(self):
+        SparseHistogram(np.zeros((2, 3)), np.array([0.4, 0.6]))
+
+    def test_rejects_bad_probs_shape(self):
+        with pytest.raises(DistanceError):
+            SparseHistogram(np.zeros((2, 3)), np.array([1.0]))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(DistanceError):
+            SparseHistogram(np.zeros((2, 3)), np.array([0.4, 0.4]))
+
+    def test_rejects_1d_centers(self):
+        with pytest.raises(DistanceError):
+            SparseHistogram(np.zeros(3), np.array([1.0]))
+
+    def test_properties(self):
+        h = SparseHistogram(np.zeros((4, 2)), np.full(4, 0.25))
+        assert h.n_bins == 4
+        assert h.dim == 2
+
+
+class TestBinnerValidation:
+    def test_rejects_bad_binning(self):
+        with pytest.raises(DistanceError):
+            HistogramBinner(binning="magic")
+
+    def test_rejects_mismatched_dims(self):
+        b = HistogramBinner()
+        with pytest.raises(DistanceError):
+            b.histogram_pair(np.zeros((5, 2)), np.zeros((5, 3)))
+
+
+class TestBinnerBehaviour:
+    def test_probs_sum_to_one(self):
+        b = HistogramBinner(n_bins=8)
+        hp, hq = b.histogram_pair(sample_2d(0), sample_2d(1))
+        assert hp.probs.sum() == pytest.approx(1.0)
+        assert hq.probs.sum() == pytest.approx(1.0)
+
+    def test_bin_counts_bounded(self):
+        b = HistogramBinner(n_bins=4)
+        hp, hq = b.histogram_pair(sample_2d(0), sample_2d(1))
+        assert hp.n_bins <= 16
+        assert hq.n_bins <= 16
+
+    def test_identical_samples_identical_histograms(self):
+        x = sample_2d(2)
+        b = HistogramBinner(n_bins=6)
+        hp, hq = b.histogram_pair(x, x.copy())
+        assert np.array_equal(hp.centers, hq.centers)
+        assert np.allclose(hp.probs, hq.probs)
+
+    def test_standardization_uses_reference(self):
+        """The coordinate frame comes from p (the first argument) only."""
+        p = sample_2d(3) * 7 + 4
+        b = HistogramBinner(n_bins=6)
+        shift, scale = b._reference_frame(p)
+        assert np.allclose(shift, p.mean(axis=0))
+        assert np.allclose(scale, p.std(axis=0))
+        # q plays no role in the frame.
+        shift2, scale2 = b._reference_frame(p)
+        assert np.allclose(shift, shift2) and np.allclose(scale, scale2)
+
+    def test_degenerate_scale_falls_back_to_one(self):
+        b = HistogramBinner(n_bins=4)
+        p = np.column_stack([np.ones(20), np.arange(20.0)])
+        _, scale = b._reference_frame(p)
+        assert scale[0] == 1.0
+        assert scale[1] > 1.0
+
+    def test_no_standardize_keeps_raw_coordinates(self):
+        p = sample_2d(5) * 50 + 100
+        b = HistogramBinner(n_bins=4, standardize=False)
+        hp, _ = b.histogram_pair(p, p)
+        assert hp.centers.min() > 0
+
+    def test_degenerate_dimension_single_bin(self):
+        p = np.column_stack([np.ones(50), np.arange(50.0)])
+        b = HistogramBinner(n_bins=4, standardize=False)
+        hp, _ = b.histogram_pair(p, p)
+        assert np.unique(hp.centers[:, 0]).size == 1
+
+    def test_quantile_mode_balances_mass(self):
+        rng = np.random.default_rng(0)
+        p = rng.lognormal(0, 1, (2000, 1))
+        b = HistogramBinner(n_bins=10, binning="quantile", standardize=False)
+        hp, _ = b.histogram_pair(p, p)
+        assert hp.probs.max() < 0.2  # roughly equal-mass bins
+
+    def test_uniform_mode_equal_widths(self):
+        p = np.arange(100.0)[:, None]
+        b = HistogramBinner(n_bins=10, binning="uniform", standardize=False)
+        hp, _ = b.histogram_pair(p, p)
+        widths = np.diff(np.sort(np.unique(hp.centers[:, 0])))
+        assert np.allclose(widths, widths[0])
+
+    @given(
+        hnp.arrays(
+            float,
+            st.tuples(st.integers(5, 60), st.integers(1, 3)),
+            elements=st.floats(-100, 100),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_mass_preserved(self, p):
+        b = HistogramBinner(n_bins=5)
+        hp, hq = b.histogram_pair(p, p + 1.0)
+        assert hp.probs.sum() == pytest.approx(1.0)
+        assert hq.probs.sum() == pytest.approx(1.0)
+        assert hp.centers.shape[1] == p.shape[1]

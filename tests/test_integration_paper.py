@@ -1,0 +1,170 @@
+"""End-to-end integration tests asserting the paper's qualitative results.
+
+These are the repository's acceptance tests: each test pins one claim from
+the paper's evaluation section on the small-scale reproduction. They use the
+session-scoped small bundle and a reduced replication count, which is already
+enough for every ordering to be stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import glitch_fraction_table
+from repro.core.framework import ExperimentConfig, ExperimentRunner
+from repro.cleaning.registry import paper_strategies
+from repro.experiments.paper import run_figure6, run_figure7
+from repro.glitches.detectors import DetectorSuite, ScaleTransform
+from repro.glitches.types import GlitchType
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(n_replications=6, sample_size=40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def result_log(small_bundle, cfg):
+    return run_figure6(small_bundle, cfg)
+
+
+@pytest.fixture(scope="module")
+def result_raw(small_bundle, cfg):
+    return run_figure6(small_bundle, cfg.variant(log_transform=False))
+
+
+def by_strategy(result):
+    return {s.strategy: s for s in result.summaries()}
+
+
+class TestTable1Shape:
+    """Table 1: glitch percentages before and after cleaning."""
+
+    def test_dirty_rates_match_paper_bands(self, small_bundle):
+        g = small_bundle.suite.annotate_dataset(small_bundle.dirty)
+        fr = g.record_fractions()
+        assert 0.10 < fr[GlitchType.MISSING] < 0.22        # paper: 15.8%
+        assert 0.10 < fr[GlitchType.INCONSISTENT] < 0.22   # paper: 15.9%
+        assert 0.03 < fr[GlitchType.OUTLIER] < 0.12        # paper: 5.1%
+
+    def test_log_outlier_rate_much_higher(self, small_bundle):
+        suite_log = DetectorSuite.from_ideal(
+            small_bundle.ideal, transform=ScaleTransform.log_attr1()
+        )
+        log_rate = suite_log.annotate_dataset(small_bundle.dirty).record_fraction(
+            GlitchType.OUTLIER
+        )
+        raw_rate = small_bundle.suite.annotate_dataset(
+            small_bundle.dirty
+        ).record_fraction(GlitchType.OUTLIER)
+        assert log_rate > 1.5 * raw_rate                    # paper: 16.8 vs 5.1
+
+    def test_treated_rates(self, result_log):
+        table = glitch_fraction_table(result_log.outcomes)
+        # Strategies 1/2/4/5 eliminate missing values entirely.
+        for s in ("strategy1", "strategy2", "strategy4", "strategy5"):
+            assert table[s]["missing_treated"] == pytest.approx(0.0, abs=0.1)
+        # Strategy 3 ignores missing/inconsistent.
+        assert table["strategy3"]["missing_treated"] == pytest.approx(
+            table["strategy3"]["missing_dirty"], abs=0.1
+        )
+        # MVN imputation plants new inconsistencies; mean replacement doesn't.
+        assert table["strategy1"]["inconsistent_treated"] > 0.5
+        assert table["strategy4"]["inconsistent_treated"] == pytest.approx(0.0, abs=0.05)
+        assert table["strategy5"]["inconsistent_treated"] == pytest.approx(0.0, abs=0.05)
+        # Winsorizing strategies end with zero outliers...
+        for s in ("strategy1", "strategy3", "strategy5"):
+            assert table[s]["outlier_treated"] == pytest.approx(0.0, abs=0.1)
+        # ...while strategy 2 *increases* the outlier rate (paper: 17.6 > 16.8).
+        assert (
+            table["strategy2"]["outlier_treated"]
+            > table["strategy2"]["outlier_dirty"]
+        )
+
+
+class TestFigure6Shape:
+    """Figure 6: who wins on improvement and distortion."""
+
+    def test_improvement_ordering(self, result_log):
+        s = by_strategy(result_log)
+        # Full-treatment strategies lead; winsorize-only trails.
+        assert s["strategy5"].improvement_mean > s["strategy4"].improvement_mean
+        assert s["strategy1"].improvement_mean > s["strategy2"].improvement_mean
+        assert s["strategy1"].improvement_mean > s["strategy3"].improvement_mean
+        assert s["strategy4"].improvement_mean > s["strategy3"].improvement_mean
+
+    def test_mean_family_less_distorting_than_mi_family(self, result_log, result_raw):
+        """The paper's headline: 'a simple and cheap strategy outperformed a
+        more sophisticated and expensive strategy'."""
+        for result in (result_log, result_raw):
+            s = by_strategy(result)
+            assert s["strategy4"].distortion_mean < s["strategy2"].distortion_mean
+            assert s["strategy5"].distortion_mean < (
+                s["strategy1"].distortion_mean + s["strategy2"].distortion_mean
+            ) / 2 * 1.5
+
+    def test_winsorize_only_among_lowest_distortion(self, result_log, result_raw):
+        """S3 sits at the bottom of the distortion axis, clearly below every
+        strategy that also treats missing/inconsistent values with the MVN
+        imputer, and at worst on par with mean replacement."""
+        for result in (result_log, result_raw):
+            s = by_strategy(result)
+            d3 = s["strategy3"].distortion_mean
+            assert d3 < s["strategy1"].distortion_mean
+            assert d3 < s["strategy2"].distortion_mean
+            assert d3 < s["strategy5"].distortion_mean
+            assert d3 <= s["strategy4"].distortion_mean * 1.4
+
+    def test_log_transform_raises_winsorize_improvement(
+        self, result_log, result_raw
+    ):
+        """Section 5.5: more outliers flagged under the log means more glitch
+        improvement for the winsorize-only strategy."""
+        log3 = by_strategy(result_log)["strategy3"].improvement_mean
+        raw3 = by_strategy(result_raw)["strategy3"].improvement_mean
+        assert log3 > raw3
+
+    def test_all_improvements_positive(self, result_log):
+        for s in result_log.summaries():
+            assert s.improvement_mean > 0
+
+
+class TestFigure6SampleSize:
+    def test_larger_sample_tightens_clusters(self, small_bundle, cfg):
+        """Section 5.5: 'with an increase in sample size, the points
+        coalesce'. Variance of both axes shrinks with B for the deterministic
+        strategies (the MVN imputer's fit instability is a separate, real
+        source of spread that B alone does not remove)."""
+        from repro.cleaning.registry import strategy_by_name
+
+        strategies = [strategy_by_name(f"strategy{i}") for i in (3, 4, 5)]
+        small_b = run_figure6(
+            small_bundle, cfg.variant(sample_size=10, n_replications=8, seed=1),
+            strategies=strategies,
+        )
+        large_b = run_figure6(
+            small_bundle, cfg.variant(sample_size=80, n_replications=8, seed=1),
+            strategies=strategies,
+        )
+        small_spread = [
+            s.distortion_std + s.improvement_std / 20 for s in small_b.summaries()
+        ]
+        large_spread = [
+            s.distortion_std + s.improvement_std / 20 for s in large_b.summaries()
+        ]
+        assert np.mean(large_spread) < np.mean(small_spread)
+
+
+class TestFigure7Shape:
+    def test_cost_sweep_monotone_with_diminishing_returns(self, small_bundle, cfg):
+        sweep = run_figure7(small_bundle, cfg.variant(n_replications=4))
+        ordered = sorted(sweep.summaries(), key=lambda s: s.cost_fraction)
+        imps = [s.improvement_mean for s in ordered]
+        dists = [s.distortion_mean for s in ordered]
+        assert imps[0] == pytest.approx(0.0, abs=1e-9)     # 0% = untouched
+        assert dists[0] == pytest.approx(0.0, abs=1e-9)
+        assert all(b >= a - 1e-9 for a, b in zip(imps, imps[1:]))
+        gains = sweep.marginal_gains()
+        # Improvement per extra fraction cleaned decreases: the 20%->50% and
+        # 50%->100% steps buy less per unit mass than the first 20%.
+        per_unit = [di / (f2 - f1) for (f2, di, _), f1 in zip(gains, (0.0, 0.2, 0.5))]
+        assert per_unit[0] > per_unit[-1]

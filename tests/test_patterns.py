@@ -1,0 +1,112 @@
+"""Glitch pattern analytics (Figure 3, co-occurrence, autocorrelation)."""
+
+import numpy as np
+import pytest
+
+from repro.glitches.patterns import (
+    cooccurrence_matrix,
+    counts_over_time,
+    jaccard_overlap,
+    pattern_frequencies,
+    temporal_autocorrelation,
+)
+from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType
+
+
+def build_glitches():
+    """Two small annotated series with known overlap structure."""
+    a = np.zeros((6, 2, 3), dtype=bool)
+    a[0, 0, 0] = True  # missing at t=0
+    a[0, 1, 1] = True  # inconsistent at t=0 (co-occurs with missing)
+    a[2, 0, 2] = True  # outlier at t=2
+    b = np.zeros((4, 2, 3), dtype=bool)
+    b[1, 0, 0] = True  # missing at t=1
+    return DatasetGlitches([GlitchMatrix(a), GlitchMatrix(b)])
+
+
+class TestCountsOverTime:
+    def test_shape_is_longest_series(self):
+        counts = counts_over_time(build_glitches())
+        assert counts.shape == (6, 3)
+
+    def test_values(self):
+        counts = counts_over_time(build_glitches())
+        assert counts[0, int(GlitchType.MISSING)] == 1
+        assert counts[1, int(GlitchType.MISSING)] == 1
+        assert counts[2, int(GlitchType.OUTLIER)] == 1
+        assert counts.sum() == 4
+
+    def test_bundle_counts_scale(self, tiny_bundle):
+        glitches = tiny_bundle.suite.annotate_dataset(tiny_bundle.dirty)
+        counts = counts_over_time(glitches)
+        assert counts.shape[0] == tiny_bundle.dirty.max_length
+        # every time step can have at most n_series glitching records
+        assert counts.max() <= len(tiny_bundle.dirty)
+
+
+class TestCooccurrence:
+    def test_diagonal_is_marginal(self):
+        m = cooccurrence_matrix(build_glitches())
+        assert m[0, 0] == 2  # two missing records
+        assert m[1, 1] == 1
+        assert m[2, 2] == 1
+
+    def test_off_diagonal_counts_joint(self):
+        m = cooccurrence_matrix(build_glitches())
+        assert m[0, 1] == 1  # the co-occurring record
+        assert m[0, 2] == 0
+
+    def test_symmetric(self):
+        m = cooccurrence_matrix(build_glitches())
+        assert np.array_equal(m, m.T)
+
+    def test_jaccard(self):
+        g = build_glitches()
+        assert jaccard_overlap(g, GlitchType.MISSING, GlitchType.INCONSISTENT) == (
+            pytest.approx(1 / 2)
+        )
+        assert jaccard_overlap(g, GlitchType.MISSING, GlitchType.OUTLIER) == 0.0
+
+    def test_missing_inconsistent_overlap_in_generated_data(self, tiny_bundle):
+        """Figure 3's 'considerable overlap' claim on the synthetic data."""
+        glitches = tiny_bundle.suite.annotate_dataset(tiny_bundle.dirty)
+        j_mi = jaccard_overlap(glitches, GlitchType.MISSING, GlitchType.INCONSISTENT)
+        assert j_mi > 0.15
+
+
+class TestPatternFrequencies:
+    def test_total_records(self):
+        freqs = pattern_frequencies(build_glitches())
+        assert sum(freqs.values()) == 10
+
+    def test_clean_pattern_dominates(self):
+        freqs = pattern_frequencies(build_glitches())
+        assert freqs[(False, False, False)] == 7
+
+    def test_cooccurrence_pattern_present(self):
+        freqs = pattern_frequencies(build_glitches())
+        assert freqs[(True, True, False)] == 1
+
+
+class TestAutocorrelation:
+    def test_bursty_indicator_positive_lag1(self, rng):
+        bits = np.zeros((200, 1, 3), dtype=bool)
+        # plant bursts of missing
+        for start in (10, 60, 120):
+            bits[start : start + 15, 0, 0] = True
+        acf = temporal_autocorrelation(
+            DatasetGlitches([GlitchMatrix(bits)]), GlitchType.MISSING, max_lag=5
+        )
+        assert acf[0] > 0.5
+
+    def test_constant_series_gives_nan(self):
+        bits = np.zeros((50, 1, 3), dtype=bool)
+        acf = temporal_autocorrelation(
+            DatasetGlitches([GlitchMatrix(bits)]), GlitchType.MISSING, max_lag=3
+        )
+        assert np.isnan(acf).all()
+
+    def test_generated_glitches_cluster_temporally(self, tiny_bundle):
+        glitches = tiny_bundle.suite.annotate_dataset(tiny_bundle.dirty)
+        acf = temporal_autocorrelation(glitches, GlitchType.MISSING, max_lag=3)
+        assert acf[0] > 0.2

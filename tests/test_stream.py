@@ -1,0 +1,97 @@
+"""TimeSeries container: shapes, masks, transforms, copies."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import DEFAULT_ATTRIBUTES, TimeSeries
+from repro.data.topology import NodeId
+from repro.errors import DataShapeError
+
+from conftest import make_series
+
+
+class TestConstruction:
+    def test_default_attribute_names_for_three_columns(self):
+        s = make_series([[1.0, 2.0, 3.0]])
+        assert s.attributes == DEFAULT_ATTRIBUTES
+
+    def test_generated_names_for_other_widths(self):
+        s = TimeSeries(NodeId(0, 0, 0), np.zeros((2, 5)))
+        assert s.attributes == ("attr1", "attr2", "attr3", "attr4", "attr5")
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataShapeError):
+            TimeSeries(NodeId(0, 0, 0), np.zeros(3))
+
+    def test_rejects_mismatched_attribute_names(self):
+        with pytest.raises(DataShapeError):
+            TimeSeries(NodeId(0, 0, 0), np.zeros((2, 3)), attributes=("a",))
+
+    def test_rejects_mismatched_truth_shape(self):
+        with pytest.raises(DataShapeError):
+            TimeSeries(NodeId(0, 0, 0), np.zeros((2, 3)), truth=np.zeros((3, 3)))
+
+    def test_length_and_width(self, simple_series):
+        assert simple_series.length == 5
+        assert len(simple_series) == 5
+        assert simple_series.n_attributes == 3
+
+
+class TestAccess:
+    def test_attribute_index(self, simple_series):
+        assert simple_series.attribute_index("attr2") == 1
+
+    def test_unknown_attribute_raises_keyerror(self, simple_series):
+        with pytest.raises(KeyError, match="nope"):
+            simple_series.attribute_index("nope")
+
+    def test_column_is_view(self, simple_series):
+        col = simple_series.column("attr1")
+        col[0] = 99.0
+        assert simple_series.values[0, 0] == 99.0
+
+
+class TestMasks:
+    def test_missing_mask(self, simple_series):
+        mask = simple_series.missing_mask
+        assert mask.sum() == 3
+        assert mask[1, 0] and mask[3, 1] and mask[4, 2]
+
+    def test_missing_fraction(self, simple_series):
+        assert simple_series.missing_fraction == pytest.approx(3 / 15)
+
+
+class TestCopies:
+    def test_copy_is_deep_for_values(self, simple_series):
+        c = simple_series.copy()
+        c.values[0, 0] = -1.0
+        assert simple_series.values[0, 0] != -1.0
+
+    def test_with_values_keeps_node_and_truth(self):
+        truth = np.ones((2, 3))
+        s = TimeSeries(NodeId(1, 2, 3), np.zeros((2, 3)), truth=truth)
+        out = s.with_values(np.full((2, 3), 7.0))
+        assert out.node == NodeId(1, 2, 3)
+        assert out.truth is truth
+        assert out.values[0, 0] == 7.0
+
+
+class TestTransformed:
+    def test_log_transform_applies_to_one_column(self, simple_series):
+        out = simple_series.transformed("attr1", np.log)
+        assert out.values[0, 0] == pytest.approx(np.log(10.0))
+        # other columns untouched
+        assert out.values[0, 1] == 2.0
+
+    def test_log_of_negative_becomes_nan(self, simple_series):
+        out = simple_series.transformed("attr1", np.log)
+        assert np.isnan(out.values[2, 0])
+
+    def test_nan_propagates(self, simple_series):
+        out = simple_series.transformed("attr1", np.log)
+        assert np.isnan(out.values[1, 0])
+
+    def test_original_untouched(self, simple_series):
+        before = simple_series.values.copy()
+        simple_series.transformed("attr1", np.log)
+        assert np.array_equal(simple_series.values, before, equal_nan=True)

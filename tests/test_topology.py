@@ -1,0 +1,87 @@
+"""Three-level hierarchy: structure, neighbours, graph view."""
+
+import networkx as nx
+import pytest
+
+from repro.data.topology import NetworkTopology, NodeId
+from repro.errors import TopologyError, ValidationError
+
+
+@pytest.fixture()
+def topo():
+    return NetworkTopology(n_rnc=2, towers_per_rnc=3, sectors_per_tower=4)
+
+
+class TestNodeId:
+    def test_ordering(self):
+        assert NodeId(0, 0, 1) < NodeId(0, 1, 0) < NodeId(1, 0, 0)
+
+    def test_tower_key(self):
+        assert NodeId(2, 5, 1).tower_key == (2, 5)
+
+    def test_hashable(self):
+        assert len({NodeId(0, 0, 0), NodeId(0, 0, 0), NodeId(0, 0, 1)}) == 2
+
+
+class TestTopology:
+    def test_size(self, topo):
+        assert len(topo) == 2 * 3 * 4
+        assert topo.n_sectors == 24
+
+    def test_iteration_order_deterministic(self, topo):
+        nodes = list(topo)
+        assert nodes == sorted(nodes)
+        assert nodes[0] == NodeId(0, 0, 0)
+        assert nodes[-1] == NodeId(1, 2, 3)
+
+    def test_contains(self, topo):
+        assert NodeId(1, 2, 3) in topo
+        assert NodeId(2, 0, 0) not in topo
+
+    def test_sectors_of_tower(self, topo):
+        sectors = topo.sectors_of_tower(0, 1)
+        assert len(sectors) == 4
+        assert all(s.tower_key == (0, 1) for s in sectors)
+
+    def test_sectors_of_tower_unknown_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.sectors_of_tower(5, 0)
+
+    def test_sectors_of_rnc(self, topo):
+        assert len(topo.sectors_of_rnc(1)) == 12
+
+    def test_sectors_of_rnc_unknown_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.sectors_of_rnc(9)
+
+    def test_neighbors_are_tower_siblings(self, topo):
+        node = NodeId(0, 1, 2)
+        nbrs = topo.neighbors(node)
+        assert node not in nbrs
+        assert len(nbrs) == 3
+        assert all(n.tower_key == node.tower_key for n in nbrs)
+
+    def test_neighbors_unknown_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.neighbors(NodeId(9, 9, 9))
+
+    def test_tower_of(self, topo):
+        assert topo.tower_of(NodeId(1, 2, 0)) == (1, 2)
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValidationError):
+            NetworkTopology(0, 1, 1)
+
+
+class TestGraphView:
+    def test_graph_is_tree(self, topo):
+        graph = topo.to_graph()
+        # 1 core + 2 rnc + 6 towers + 24 sectors = 33 nodes; tree: n-1 edges.
+        assert graph.number_of_nodes() == 33
+        assert graph.number_of_edges() == 32
+        assert nx.is_connected(graph)
+
+    def test_levels_annotated(self, topo):
+        graph = topo.to_graph()
+        levels = nx.get_node_attributes(graph, "level")
+        assert sum(1 for v in levels.values() if v == "sector") == 24

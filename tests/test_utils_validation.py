@@ -1,0 +1,91 @@
+"""Validation helpers reject bad inputs with ValidationError."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+    ensure_1d,
+    ensure_2d,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4), "n") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="n"):
+            check_positive_int(0, "n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-2, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value, "f")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_fraction("half", "f")
+
+    def test_coerces_int(self):
+        assert check_fraction(1, "f") == 1.0
+
+
+class TestCheckProbability:
+    def test_accepts_half(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability(float("nan"), "p")
+
+
+class TestEnsureDims:
+    def test_ensure_1d_accepts_list(self):
+        out = ensure_1d([1, 2, 3], "x")
+        assert out.shape == (3,)
+        assert out.dtype == float
+
+    def test_ensure_1d_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            ensure_1d([[1, 2]], "x")
+
+    def test_ensure_2d_accepts_nested(self):
+        out = ensure_2d([[1, 2], [3, 4]], "x")
+        assert out.shape == (2, 2)
+
+    def test_ensure_2d_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            ensure_2d([1, 2], "x")
+
+    def test_ensure_2d_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            ensure_2d(np.zeros((2, 2, 2)), "x")

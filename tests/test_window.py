@@ -1,0 +1,54 @@
+"""Windowed history F_t^w semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data.window import WindowHistory
+from repro.errors import ValidationError
+
+from conftest import make_series
+
+
+@pytest.fixture()
+def series():
+    return make_series([[float(t), 0.0, 0.0] for t in range(10)])
+
+
+class TestWindowHistory:
+    def test_history_excludes_current(self, series):
+        w = WindowHistory(series, window=3)
+        hist = w.history(5)
+        assert hist[:, 0].tolist() == [2.0, 3.0, 4.0]
+
+    def test_history_clipped_at_start(self, series):
+        w = WindowHistory(series, window=5)
+        assert w.history(2).shape[0] == 2
+
+    def test_history_empty_at_zero(self, series):
+        assert WindowHistory(series, window=3).history(0).shape[0] == 0
+
+    def test_history_at_end(self, series):
+        w = WindowHistory(series, window=4)
+        assert w.history(10)[:, 0].tolist() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_out_of_range_raises(self, series):
+        w = WindowHistory(series, window=3)
+        with pytest.raises(IndexError):
+            w.history(11)
+        with pytest.raises(IndexError):
+            w.history(-1)
+
+    def test_history_column(self, series):
+        w = WindowHistory(series, window=2)
+        assert w.history_column(4, "attr1").tolist() == [2.0, 3.0]
+
+    def test_iter_windows_covers_stream(self, series):
+        w = WindowHistory(series, window=3)
+        items = list(w.iter_windows())
+        assert len(items) == 10
+        assert items[0][1].shape[0] == 0
+        assert items[9][1].shape[0] == 3
+
+    def test_window_must_be_positive(self, series):
+        with pytest.raises(ValidationError):
+            WindowHistory(series, window=0)
