@@ -21,7 +21,7 @@ from repro.core.framework import ExperimentRunner
 from repro.core.tradeoff import knee_point, pareto_front
 from repro.experiments.report import render_strategy_summaries
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_extension_strategies(benchmark, bundle, config):

@@ -24,7 +24,7 @@ from repro.distance.ks import KolmogorovSmirnovDistance
 from repro.distance.mahalanobis import MahalanobisDistance
 from repro.sampling.replication import generate_test_pairs
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def _treated_pairs(bundle, config):

@@ -14,7 +14,7 @@ from repro.experiments.report import render_counts_series
 from repro.glitches.patterns import jaccard_overlap
 from repro.glitches.types import DatasetGlitches, GlitchType
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_figure3(benchmark, bundle, config):

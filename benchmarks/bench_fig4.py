@@ -8,7 +8,7 @@ Paper: (a) on the raw scale the Gaussian imputer plants *negative* values
 
 from repro.experiments.paper import figure4_stats
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_figure4(benchmark, bundle, config):

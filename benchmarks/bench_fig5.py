@@ -8,7 +8,7 @@ the full range.
 
 from repro.experiments.paper import figure5_stats
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_figure5(benchmark, bundle, config):

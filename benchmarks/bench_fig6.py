@@ -12,7 +12,7 @@ log. Expected shape, all panels:
 from repro.experiments.paper import run_figure6
 from repro.experiments.report import render_strategy_summaries
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_figure6a_log(benchmark, bundle, config):

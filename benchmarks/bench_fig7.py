@@ -9,7 +9,7 @@ score" (Section 5.6).
 from repro.experiments.paper import run_figure7
 from repro.experiments.report import render_cost_summary
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_figure7a_log(benchmark, bundle, config):

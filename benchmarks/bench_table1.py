@@ -17,7 +17,7 @@ Expected shape (paper vs this harness):
 from repro.experiments.paper import run_table1
 from repro.experiments.report import render_table1
 
-from conftest import run_once
+from bench_utils import run_once
 
 
 def test_table1(benchmark, bundle, config):

@@ -1,0 +1,16 @@
+"""Importable benchmark helpers.
+
+Kept out of ``conftest.py`` so benchmark modules never import the ambiguous
+module name ``conftest`` (with both ``tests/`` and ``benchmarks/`` on
+``sys.path`` in a whole-repo pytest run, that name resolves to whichever
+directory was collected first).
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_once"]
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -29,8 +29,3 @@ def bundle(scale):
 @pytest.fixture(scope="session")
 def config(scale):
     return experiment_config(scale, log_transform=True, seed=0)
-
-
-def run_once(benchmark, fn):
-    """Run *fn* exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -58,6 +58,8 @@ def main() -> None:
         ClampRatioStrategy(),
     ]
 
+    # backend=None defers to REPRO_BACKEND (e.g. "process:4" to fan the
+    # replications out over four workers — the numbers do not change).
     runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
     result = runner.run(strategies)
 

@@ -46,19 +46,26 @@ from repro.cleaning import (
     strategy_by_name,
 )
 from repro.core import (
+    ExecutionBackend,
     ExperimentConfig,
     ExperimentResult,
     ExperimentRunner,
     GlitchWeights,
+    ProcessBackend,
+    SerialBackend,
     StrategyOutcome,
     StrategySummary,
+    ThreadBackend,
     cost_sweep,
     glitch_improvement,
     glitch_index,
     knee_point,
     pareto_front,
+    resolve_backend,
     statistical_distortion,
+    statistical_distortion_batch,
     summarize_outcomes,
+    tradeoff_points,
     viable_strategies,
 )
 from repro.data import (
@@ -80,9 +87,11 @@ from repro.distance import (
     MarginalEmd,
     SlicedEmd,
     emd_1d,
+    pairwise_emd,
 )
 from repro.errors import ReproError
 from repro.experiments import (
+    backend_from_env,
     build_population,
     experiment_config,
     figure3_counts,
@@ -148,6 +157,7 @@ __all__ = [
     # distance
     "EarthMoverDistance",
     "emd_1d",
+    "pairwise_emd",
     "SlicedEmd",
     "MarginalEmd",
     "KLDivergence",
@@ -159,13 +169,20 @@ __all__ = [
     "glitch_index",
     "glitch_improvement",
     "statistical_distortion",
+    "statistical_distortion_batch",
     "ExperimentConfig",
     "ExperimentRunner",
     "ExperimentResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "StrategyOutcome",
     "StrategySummary",
     "summarize_outcomes",
     "cost_sweep",
+    "tradeoff_points",
     "pareto_front",
     "knee_point",
     "viable_strategies",
@@ -173,6 +190,7 @@ __all__ = [
     "build_population",
     "experiment_config",
     "scale_from_env",
+    "backend_from_env",
     "figure3_counts",
     "figure4_stats",
     "figure5_stats",

@@ -5,21 +5,39 @@ along those axes.
 """
 
 from repro.core.cost import CostSweepResult, cost_sweep
-from repro.core.distortion import statistical_distortion
+from repro.core.distortion import statistical_distortion, statistical_distortion_batch
 from repro.core.evaluation import (
     StrategyOutcome,
     StrategySummary,
     glitch_fraction_table,
     summarize_outcomes,
 )
-from repro.core.framework import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.core.executor import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.core.framework import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    evaluate_pair_outcomes,
+)
 from repro.core.glitch_index import (
     GlitchWeights,
     glitch_improvement,
     glitch_index,
     series_glitch_scores,
 )
-from repro.core.tradeoff import TradeoffPoint, knee_point, pareto_front, viable_strategies
+from repro.core.tradeoff import (
+    TradeoffPoint,
+    knee_point,
+    pareto_front,
+    tradeoff_points,
+    viable_strategies,
+)
 
 __all__ = [
     "GlitchWeights",
@@ -27,9 +45,16 @@ __all__ = [
     "glitch_improvement",
     "series_glitch_scores",
     "statistical_distortion",
+    "statistical_distortion_batch",
     "ExperimentConfig",
     "ExperimentRunner",
     "ExperimentResult",
+    "evaluate_pair_outcomes",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "StrategyOutcome",
     "StrategySummary",
     "summarize_outcomes",
@@ -37,6 +62,7 @@ __all__ = [
     "cost_sweep",
     "CostSweepResult",
     "TradeoffPoint",
+    "tradeoff_points",
     "pareto_front",
     "knee_point",
     "viable_strategies",

@@ -9,7 +9,7 @@ respect to the ideal", Section 1.1), pooling every time instant as one
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
@@ -17,7 +17,7 @@ from repro.distance.emd import EarthMoverDistance
 from repro.errors import DistanceError
 from repro.glitches.detectors import ScaleTransform
 
-__all__ = ["statistical_distortion"]
+__all__ = ["statistical_distortion", "statistical_distortion_batch"]
 
 
 def statistical_distortion(
@@ -42,12 +42,45 @@ def statistical_distortion(
         log-attr1 experimental factor). Rows with missing values carry no
         mass and are dropped by the distance.
     """
+    return statistical_distortion_batch(
+        dirty, [treated], distance=distance, transform=transform
+    )[0]
+
+
+def statistical_distortion_batch(
+    dirty: StreamDataset,
+    treated_seq: Sequence[StreamDataset],
+    distance: Optional[Distance] = None,
+    transform: Optional[ScaleTransform] = None,
+) -> list[float]:
+    """Distortion of many treated data sets against one dirty reference.
+
+    The batched form of :func:`statistical_distortion` used by the
+    experiment framework to score a whole strategy panel per replication:
+    the dirty side is transformed and pooled exactly once, and distances
+    that implement a cached ``pairwise`` path (the default EMD does) bin
+    the reference once on a grid shared by all candidates instead of
+    re-binning it per strategy. Returns one distortion per treated data
+    set, in order.
+
+    **Shared-support semantics** (multivariate EMD): the grid spans the
+    pooled union of the dirty sample and *every* treated candidate — the
+    paper's "bins covering this support". All values within one panel are
+    therefore computed on identical bins and are directly comparable to
+    each other, but a candidate with an extreme range stretches the grid
+    for the whole panel, so an individual value can shift slightly (within
+    EMD's binning-insensitivity envelope) when the panel composition
+    changes. For a panel-independent per-pair value, call
+    :func:`statistical_distortion`, which covers only that pair's support.
+    The exact univariate path bins nothing and is panel-independent either
+    way.
+    """
     distance = distance or EarthMoverDistance()
     if transform is not None:
         dirty = transform.apply_dataset(dirty)
-        treated = transform.apply_dataset(treated)
+        treated_seq = [transform.apply_dataset(t) for t in treated_seq]
     p = dirty.pooled(dropna="any")
-    q = treated.pooled(dropna="any")
-    if p.shape[0] == 0 or q.shape[0] == 0:
+    qs = [t.pooled(dropna="any") for t in treated_seq]
+    if p.shape[0] == 0 or any(q.shape[0] == 0 for q in qs):
         raise DistanceError("no complete records to compare")
-    return distance(p, q)
+    return [float(d) for d in distance.pairwise(p, qs)]

@@ -1,0 +1,244 @@
+"""Execution backends — parallel evaluation of independent work units.
+
+The framework's replication pairs are embarrassingly parallel: each pair is
+cleaned, annotated and scored in isolation, with its own spawned random
+stream. This module owns the machinery that fans those units out:
+
+* :class:`SerialBackend` — a plain loop; the reference semantics.
+* :class:`ThreadBackend` — a thread pool; effective because the hot loops
+  (numpy binning, scipy's HiGHS solve) release the GIL.
+* :class:`ProcessBackend` — a chunked :mod:`multiprocessing` pool for
+  CPU-bound scaling across cores; work functions and items must pickle.
+
+All backends preserve input order and evaluate every unit exactly once, so a
+parallel run is *bitwise identical* to a serial one as long as the work
+function is pure — which the framework guarantees by handing each unit its
+own pre-spawned :class:`numpy.random.Generator`.
+
+Selection is by name (``"serial"``/``"thread"``/``"process"``, optionally
+``"process:4"`` to pin the worker count) through :func:`resolve_backend`;
+the ``REPRO_BACKEND`` environment variable overrides any name passed in
+code, so a whole benchmark suite can be switched from the shell.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Protocol, TypeVar, Union, runtime_checkable
+
+from repro.errors import ExperimentError
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "default_worker_count",
+    "parse_backend_spec",
+    "resolve_backend",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Names accepted by :func:`resolve_backend` and ``REPRO_BACKEND``.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+_ENV_VAR = "REPRO_BACKEND"
+
+
+def default_worker_count() -> int:
+    """Number of CPUs actually available to this process."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Evaluates a pure function over independent work units.
+
+    Implementations must preserve item order and evaluate each item exactly
+    once; given a pure ``fn`` the result list is identical across backends.
+    ``items`` may be any iterable: the serial backend consumes it lazily
+    (one unit in memory at a time), parallel backends materialise it to
+    dispatch.
+    """
+
+    #: Short identifier ("serial"/"thread"/"process"), used in reports.
+    name: str
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """``[fn(x) for x in items]``, possibly in parallel."""
+        ...
+
+
+class SerialBackend:
+    """In-process sequential evaluation — the reference backend."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Evaluate every item in order in the calling thread.
+
+        Consumes *items* lazily, so a streamed work-unit generator keeps
+        its one-unit-at-a-time memory footprint.
+        """
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialBackend()"
+
+
+class ThreadBackend:
+    """Thread-pool evaluation.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to the available CPU count. Threads share every
+        object, so work functions must not mutate shared state — the
+        framework's units are pure by construction.
+    """
+
+    name = "thread"
+
+    def __init__(self, n_workers: Optional[int] = None):
+        self.n_workers = (
+            check_positive_int(n_workers, "n_workers")
+            if n_workers is not None
+            else default_worker_count()
+        )
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Evaluate items through a thread pool, preserving order."""
+        items = list(items)
+        workers = min(self.n_workers, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadBackend(n_workers={self.n_workers})"
+
+
+class ProcessBackend:
+    """Chunked :mod:`multiprocessing` pool evaluation.
+
+    Work functions and items must pickle (the framework ships a
+    ``functools.partial`` of a module-level function plus dataclass state,
+    which does). Items are dispatched in contiguous chunks so per-chunk
+    pickling overhead is amortised; order is preserved by ``Pool.map``.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size; defaults to the available CPU count.
+    chunksize:
+        Items per dispatched chunk; defaults to an even split of the items
+        over the workers (one chunk per worker), which pickles the shared
+        work-function state only once per worker.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/...);
+        ``None`` uses the platform default.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.n_workers = (
+            check_positive_int(n_workers, "n_workers")
+            if n_workers is not None
+            else default_worker_count()
+        )
+        self.chunksize = (
+            check_positive_int(chunksize, "chunksize") if chunksize is not None else None
+        )
+        self.start_method = start_method
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Evaluate items through a process pool, preserving order."""
+        import multiprocessing as mp
+
+        items = list(items)
+        workers = min(self.n_workers, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        ctx = mp.get_context(self.start_method)
+        chunksize = self.chunksize or max(1, math.ceil(len(items) / workers))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(fn, items, chunksize=chunksize)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(n_workers={self.n_workers})"
+
+
+def parse_backend_spec(spec: str) -> tuple[str, Optional[int]]:
+    """Split a ``"name"`` or ``"name:workers"`` spec into its parts.
+
+    ``"process:4"`` -> ``("process", 4)``; names are case-insensitive and
+    whitespace-tolerant. Unknown names and non-positive worker counts raise
+    :class:`~repro.errors.ExperimentError`.
+    """
+    name, _, workers_part = spec.strip().lower().partition(":")
+    name = name.strip()
+    if name not in BACKEND_NAMES:
+        raise ExperimentError(
+            f"backend must be one of {list(BACKEND_NAMES)}, got {spec!r}"
+        )
+    workers: Optional[int] = None
+    if workers_part:
+        try:
+            workers = int(workers_part.strip())
+        except ValueError:
+            raise ExperimentError(f"invalid worker count in backend spec {spec!r}")
+        if workers < 1:
+            raise ExperimentError(f"worker count must be >= 1, got {workers}")
+    return name, workers
+
+
+def resolve_backend(
+    spec: Union[None, str, ExecutionBackend] = None,
+    n_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Turn a backend spec into a backend instance.
+
+    Resolution order:
+
+    1. An :class:`ExecutionBackend` *instance* is returned unchanged — an
+       explicitly constructed backend always wins.
+    2. The ``REPRO_BACKEND`` environment variable, when set, overrides any
+       *name* passed in code (so experiments can be re-run in parallel
+       without touching call sites).
+    3. The *spec* name itself.
+    4. The default: ``"serial"``.
+
+    ``n_workers`` applies when the chosen name is worker-aware and the spec
+    did not pin a count of its own (``"process:4"`` beats ``n_workers``).
+    """
+    if spec is not None and not isinstance(spec, str):
+        if not callable(getattr(spec, "map", None)):
+            raise ExperimentError(
+                f"backend must be a name or provide .map(fn, items), got {spec!r}"
+            )
+        return spec
+    env = os.environ.get(_ENV_VAR)
+    chosen = env if env is not None and env.strip() else (spec or "serial")
+    name, spec_workers = parse_backend_spec(chosen)
+    workers = spec_workers if spec_workers is not None else n_workers
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(n_workers=workers)
+    return ProcessBackend(n_workers=workers)

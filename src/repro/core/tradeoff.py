@@ -19,7 +19,13 @@ import numpy as np
 from repro.core.evaluation import StrategySummary
 from repro.errors import ExperimentError
 
-__all__ = ["TradeoffPoint", "pareto_front", "knee_point", "viable_strategies"]
+__all__ = [
+    "TradeoffPoint",
+    "tradeoff_points",
+    "pareto_front",
+    "knee_point",
+    "viable_strategies",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,17 @@ def _as_points(
     if not points:
         raise ExperimentError("need at least one strategy point")
     return points
+
+
+def tradeoff_points(result) -> list[TradeoffPoint]:
+    """Three-axis points of every strategy in an experiment result.
+
+    Accepts an :class:`~repro.core.framework.ExperimentResult` (anything
+    with a ``summaries()`` method) and projects each per-strategy summary
+    onto the (improvement, distortion, cost) axes — the one-liner between a
+    finished run and :func:`pareto_front` / :func:`knee_point`.
+    """
+    return [TradeoffPoint.from_summary(s) for s in result.summaries()]
 
 
 def pareto_front(

@@ -8,18 +8,19 @@ and a Kolmogorov-Smirnov extension.
 """
 
 from repro.distance.base import Distance
-from repro.distance.emd import EarthMoverDistance, emd_1d
+from repro.distance.emd import EarthMoverDistance, emd_1d, pairwise_emd
 from repro.distance.emd_approx import MarginalEmd, SlicedEmd
 from repro.distance.histogram import HistogramBinner, SparseHistogram
 from repro.distance.kl import JensenShannonDistance, KLDivergence
 from repro.distance.ks import KolmogorovSmirnovDistance
 from repro.distance.mahalanobis import MahalanobisDistance
-from repro.distance.transport import TransportResult, solve_transport
+from repro.distance.transport import TransportResult, solve_transport, transport_cost_1d
 
 __all__ = [
     "Distance",
     "EarthMoverDistance",
     "emd_1d",
+    "pairwise_emd",
     "SlicedEmd",
     "MarginalEmd",
     "HistogramBinner",
@@ -30,4 +31,5 @@ __all__ = [
     "MahalanobisDistance",
     "TransportResult",
     "solve_transport",
+    "transport_cost_1d",
 ]

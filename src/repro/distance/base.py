@@ -8,6 +8,7 @@ Rows containing NaN are dropped — missing cells carry no distributional mass.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
@@ -52,6 +53,15 @@ class Distance(ABC):
     @abstractmethod
     def compute(self, p: np.ndarray, q: np.ndarray) -> float:
         """Distance between pre-validated ``(N, d)`` samples."""
+
+    def pairwise(self, p: np.ndarray, qs: "Sequence[np.ndarray]") -> list[float]:
+        """Distances from one reference *p* to each candidate in *qs*.
+
+        The default just loops; distances with cacheable per-reference work
+        (see :meth:`repro.distance.emd.EarthMoverDistance.pairwise`)
+        override this with a batched fast path.
+        """
+        return [self(p, q) for q in qs]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -103,19 +103,53 @@ class HistogramBinner:
         the dirty data set), so the coordinate system does not drift with the
         cleaning strategy under evaluation.
         """
+        hp, hqs = self.histogram_group(p, [q])
+        return hp, hqs[0]
+
+    def histogram_group(
+        self, p: np.ndarray, qs: "list[np.ndarray]"
+    ) -> tuple[SparseHistogram, list[SparseHistogram]]:
+        """Histogram a reference against many candidates on ONE shared grid.
+
+        The grid spans the pooled union of the reference and *every*
+        candidate (the paper's "bins covering this support"), and the
+        reference is standardised and binned exactly once — the histogram
+        cache that lets :func:`~repro.distance.emd.pairwise_emd` score a
+        whole strategy panel without re-binning the dirty sample per
+        strategy. With a single candidate this reduces to
+        :meth:`histogram_pair` bit for bit; with several, bin widths are a
+        function of the whole group (an extreme-ranged candidate coarsens
+        everyone's bins), which is what makes the group's distances
+        mutually comparable — and what distinguishes a group value from a
+        sequence of independent :meth:`histogram_pair` calls.
+        """
         p = np.asarray(p, dtype=float)
-        q = np.asarray(q, dtype=float)
-        if p.ndim != 2 or q.ndim != 2 or p.shape[1] != q.shape[1]:
-            raise DistanceError(
-                f"samples must be (N, d) with matching d, got {p.shape} and {q.shape}"
-            )
+        qs = [np.asarray(q, dtype=float) for q in qs]
+        if not qs:
+            raise DistanceError("histogram_group needs at least one candidate")
+        for q in qs:
+            if p.ndim != 2 or q.ndim != 2 or p.shape[1] != q.shape[1]:
+                raise DistanceError(
+                    f"samples must be (N, d) with matching d, got {p.shape} "
+                    f"and {q.shape}"
+                )
         shift, scale = self._reference_frame(p)
         ps = (p - shift) / scale
-        qs = (q - shift) / scale
-        edges = self._edges(np.concatenate([ps, qs], axis=0))
+        qss = [(q - shift) / scale for q in qs]
+        edges = self._edges(np.concatenate([ps, *qss], axis=0))
         hp = self._sparse_histogram(ps, edges)
-        hq = self._sparse_histogram(qs, edges)
-        return hp, hq
+        return hp, [self._sparse_histogram(q, edges) for q in qss]
+
+    def reference_frame(self, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-dimension ``(shift, scale)`` of the standardisation frame.
+
+        Identity when ``standardize=False``; otherwise the reference
+        sample's mean and (non-robust) standard deviation.
+        """
+        p = np.asarray(p, dtype=float)
+        if p.ndim != 2:
+            raise DistanceError(f"sample must be (N, d), got {p.shape}")
+        return self._reference_frame(p)
 
     # -- internals ------------------------------------------------------------
 

@@ -12,6 +12,12 @@ This module solves exactly that problem with three interchangeable backends:
   the scaling resolution, used as an independent cross-check.
 
 Tests assert that all three agree on random instances.
+
+On the line the dense formulation is overkill: with ground distance
+``|x - y|`` the optimal cost is the integral of ``|F - G|`` between the
+marginals' CDFs, computed in closed form by :func:`transport_cost_1d`
+without materialising a cost matrix or pivoting at all. The experiment
+framework's distances route univariate histogram problems through it.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import numpy as np
 
 from repro.errors import TransportError
 
-__all__ = ["TransportResult", "solve_transport"]
+__all__ = ["TransportResult", "solve_transport", "transport_cost_1d"]
 
 _TOL = 1e-10
 
@@ -93,6 +99,50 @@ def solve_transport(
     if backend == "networkx":
         return _solve_networkx(supply, demand, cost)
     raise TransportError(f"unknown backend {backend!r}")
+
+
+def transport_cost_1d(
+    supply_pos: np.ndarray,
+    supply: np.ndarray,
+    demand_pos: np.ndarray,
+    demand: np.ndarray,
+) -> float:
+    """Exact optimal-transport cost between two weighted point sets on a line.
+
+    With ground distance ``|x - y|`` the optimum equals
+    ``total_mass * integral |F - G|`` where ``F``/``G`` are the normalised
+    CDFs of the marginals — the same value ``solve_transport`` finds, at
+    O((n+m) log(n+m)) instead of a dense LP solve. Fully vectorised.
+    """
+    sp = np.asarray(supply_pos, dtype=float).ravel()
+    s = np.asarray(supply, dtype=float).ravel()
+    dp = np.asarray(demand_pos, dtype=float).ravel()
+    d = np.asarray(demand, dtype=float).ravel()
+    if sp.size != s.size or dp.size != d.size:
+        raise TransportError("positions and masses must have matching lengths")
+    if sp.size == 0 or dp.size == 0:
+        raise TransportError("supply and demand must be non-empty")
+    if np.any(s < -_TOL) or np.any(d < -_TOL):
+        raise TransportError("supply and demand must be non-negative")
+    if np.any(~np.isfinite(sp)) or np.any(~np.isfinite(dp)):
+        raise TransportError("positions must be finite")
+    ts, td = float(s.sum()), float(d.sum())
+    if ts <= 0 or td <= 0:
+        raise TransportError("total supply and demand must be positive")
+    if not np.isclose(ts, td, rtol=1e-6, atol=1e-9):
+        raise TransportError(f"unbalanced problem: supply={ts}, demand={td}")
+    s_order = np.argsort(sp, kind="stable")
+    sp, s = sp[s_order], np.clip(s[s_order], 0.0, None)
+    d_order = np.argsort(dp, kind="stable")
+    dp, d = dp[d_order], np.clip(d[d_order], 0.0, None)
+    grid = np.union1d(sp, dp)
+    if grid.size == 1:
+        return 0.0
+    cum_s = np.concatenate([[0.0], np.cumsum(s)])
+    cum_d = np.concatenate([[0.0], np.cumsum(d)])
+    f = cum_s[np.searchsorted(sp, grid[:-1], side="right")] / ts
+    g = cum_d[np.searchsorted(dp, grid[:-1], side="right")] / td
+    return float(ts * np.sum(np.abs(f - g) * np.diff(grid)))
 
 
 # ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from repro.experiments.config import (
     SCALES,
     PopulationBundle,
+    backend_from_env,
     build_population,
     experiment_config,
     scale_from_env,
@@ -30,6 +31,7 @@ __all__ = [
     "build_population",
     "experiment_config",
     "scale_from_env",
+    "backend_from_env",
     "figure3_counts",
     "figure4_stats",
     "figure5_stats",

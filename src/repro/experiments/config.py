@@ -15,6 +15,12 @@ paper   20,000 series x 170 50                       100 (500 for panel c)
 
 "tiny" keeps unit tests fast; "small" is the benchmark default and already
 shows every qualitative result; "paper" is the faithful reproduction.
+
+Independently of the scale, the ``REPRO_BACKEND`` environment variable (or
+the ``backend`` argument of :func:`experiment_config`) selects the execution
+backend that fans the replication pairs out — ``serial``, ``thread`` or
+``process``, optionally with a worker count as in ``process:4``. Backends
+change only the wall clock, never the numbers.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.executor import parse_backend_spec
 from repro.core.framework import ExperimentConfig
 from repro.data.dataset import StreamDataset
 from repro.data.generator import GeneratorConfig, NetworkDataGenerator
@@ -42,6 +49,7 @@ from repro.utils.rng import Seed, as_generator
 __all__ = [
     "SCALES",
     "scale_from_env",
+    "backend_from_env",
     "PopulationBundle",
     "build_population",
     "experiment_config",
@@ -88,6 +96,24 @@ def scale_from_env(default: str = "small") -> str:
             f"REPRO_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
         )
     return scale
+
+
+def backend_from_env(default: Optional[str] = None) -> Optional[str]:
+    """Resolve the execution-backend spec from ``REPRO_BACKEND``.
+
+    Returns a validated ``"name"`` / ``"name:workers"`` spec, or *default*
+    (unvalidated ``None`` allowed — the runner then falls back to serial)
+    when the variable is unset or blank. Unknown names raise
+    :class:`~repro.errors.ExperimentError` here rather than deep inside a
+    run.
+    """
+    spec = os.environ.get("REPRO_BACKEND", "").strip()
+    if not spec:
+        if default is not None:
+            parse_backend_spec(default)
+        return default
+    parse_backend_spec(spec)
+    return spec.lower()
 
 
 @dataclass
@@ -154,11 +180,15 @@ def experiment_config(
     log_transform: bool = True,
     sample_size: Optional[int] = None,
     seed: Seed = 0,
+    backend: Optional[str] = None,
+    n_workers: Optional[int] = None,
 ) -> ExperimentConfig:
     """The :class:`ExperimentConfig` matching a scale preset.
 
     ``sample_size`` overrides the preset (the paper's Figure 6c uses B = 500
-    at otherwise-paper scale).
+    at otherwise-paper scale). ``backend`` names the execution backend; when
+    ``None`` the ``REPRO_BACKEND`` environment variable still applies at run
+    time.
     """
     if scale not in SCALES:
         raise ExperimentError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
@@ -168,4 +198,6 @@ def experiment_config(
         sample_size=sample_size or preset.sample_size,
         log_transform=log_transform,
         seed=seed,
+        backend=backend,
+        n_workers=n_workers,
     )

@@ -237,14 +237,20 @@ def run_figure6(
     bundle: PopulationBundle,
     config: Optional[ExperimentConfig] = None,
     strategies: Optional[Sequence[CleaningStrategy]] = None,
+    backend=None,
 ) -> ExperimentResult:
     """Evaluate the five paper strategies on one configuration.
 
     Panel (a) is the default config with the log transform; pass
     ``config.variant(log_transform=False)`` for panel (b) and
-    ``config.variant(sample_size=500)`` for panel (c).
+    ``config.variant(sample_size=500)`` for panel (c). ``backend`` (a name
+    or :class:`~repro.core.executor.ExecutionBackend`) overrides the
+    config's execution backend; replications fan out across it with
+    identical results on any choice.
     """
-    runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+    runner = ExperimentRunner(
+        bundle.dirty, bundle.ideal, config=config, backend=backend
+    )
     return runner.run(list(strategies) if strategies else paper_strategies())
 
 
@@ -257,9 +263,12 @@ def run_figure7(
     bundle: PopulationBundle,
     config: Optional[ExperimentConfig] = None,
     fractions: Sequence[float] = PAPER_COST_FRACTIONS,
+    backend=None,
 ) -> CostSweepResult:
     """Sweep Strategy 1 over cleaning fractions (100/50/20/0% in the paper)."""
-    runner = ExperimentRunner(bundle.dirty, bundle.ideal, config=config)
+    runner = ExperimentRunner(
+        bundle.dirty, bundle.ideal, config=config, backend=backend
+    )
     return cost_sweep(runner, strategy_by_name("strategy1"), fractions)
 
 
@@ -271,6 +280,7 @@ def run_figure7(
 def run_table1(
     bundle: PopulationBundle,
     configs: Optional[dict[str, ExperimentConfig]] = None,
+    backend=None,
 ) -> dict[str, ExperimentResult]:
     """Run the five strategies under each named configuration.
 
@@ -289,6 +299,6 @@ def run_table1(
             f"n={base.sample_size}, no log": base.variant(log_transform=False),
         }
     return {
-        label: run_figure6(bundle, config=config)
+        label: run_figure6(bundle, config=config, backend=backend)
         for label, config in configs.items()
     }

@@ -11,12 +11,11 @@ import numpy as np
 import pytest
 
 from repro.cleaning.base import CleaningContext
-from repro.data.dataset import StreamDataset
-from repro.data.stream import TimeSeries
-from repro.data.topology import NodeId
 from repro.experiments.config import build_population
 from repro.glitches.detectors import ScaleTransform
 from repro.sampling.replication import generate_test_pairs
+
+from helpers import make_series
 
 
 @pytest.fixture(scope="session")
@@ -57,18 +56,6 @@ def log_context(tiny_pair):
 def rng():
     """A deterministic generator for ad-hoc draws."""
     return np.random.default_rng(123)
-
-
-def make_series(values, node=NodeId(0, 0, 0), truth=None) -> TimeSeries:
-    """Build a TimeSeries from a plain nested list."""
-    return TimeSeries(node, np.asarray(values, dtype=float), truth=truth)
-
-
-def make_dataset(*value_blocks) -> StreamDataset:
-    """Build a StreamDataset of series from nested lists."""
-    return StreamDataset(
-        make_series(block, NodeId(0, 0, k)) for k, block in enumerate(value_blocks)
-    )
 
 
 @pytest.fixture()

@@ -14,7 +14,7 @@ from repro.glitches.constraints import (
     paper_constraints,
 )
 
-from conftest import make_series
+from helpers import make_series
 
 
 @pytest.fixture()

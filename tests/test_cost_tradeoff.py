@@ -11,6 +11,7 @@ from repro.core.tradeoff import (
     TradeoffPoint,
     knee_point,
     pareto_front,
+    tradeoff_points,
     viable_strategies,
 )
 from repro.errors import ExperimentError
@@ -107,6 +108,22 @@ class TestPareto:
         )
         front = pareto_front([s])
         assert front[0].strategy == "s"
+
+
+class TestTradeoffPoints:
+    def test_one_point_per_strategy(self, tiny_bundle):
+        cfg = ExperimentConfig(n_replications=2, sample_size=8, seed=0)
+        runner = ExperimentRunner(tiny_bundle.dirty, tiny_bundle.ideal, config=cfg)
+        result = runner.run(
+            [strategy_by_name("strategy3"), strategy_by_name("strategy4")]
+        )
+        points = tradeoff_points(result)
+        assert [p.strategy for p in points] == ["strategy3", "strategy4"]
+        assert all(isinstance(p, TradeoffPoint) for p in points)
+        # the projection matches the summaries it came from
+        for p, s in zip(points, result.summaries()):
+            assert p.improvement == pytest.approx(s.improvement_mean)
+            assert p.distortion == pytest.approx(s.distortion_mean)
 
 
 class TestViable:

@@ -6,7 +6,7 @@ import pytest
 from repro.data.dataset import StreamDataset
 from repro.errors import DataShapeError, ValidationError
 
-from conftest import make_dataset, make_series
+from helpers import make_dataset, make_series
 
 
 @pytest.fixture()

@@ -12,7 +12,7 @@ from repro.glitches.detectors import (
 )
 from repro.glitches.types import GlitchType
 
-from conftest import make_dataset, make_series
+from helpers import make_dataset, make_series
 
 
 class TestScaleTransform:

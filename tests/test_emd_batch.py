@@ -1,0 +1,182 @@
+"""EMD fast paths: vectorized 1-D transport, shared-grid batching.
+
+Property-style checks that the closed-form univariate path and the batched
+``pairwise`` API compute the *same* distances as the reference
+implementations they bypass (``emd_1d`` and the dense transportation
+simplex), plus the metric axioms on random samples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distortion import statistical_distortion, statistical_distortion_batch
+from repro.distance.emd import (
+    EarthMoverDistance,
+    emd_1d,
+    emd_between_histograms,
+    pairwise_emd,
+)
+from repro.distance.histogram import HistogramBinner, SparseHistogram
+from repro.distance.transport import solve_transport, transport_cost_1d
+from repro.errors import DistanceError, TransportError
+
+finite = st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=40)
+
+
+def _point_mass_histogram(sample) -> SparseHistogram:
+    """One bin per distinct sample point — an exact empirical distribution."""
+    values, counts = np.unique(np.asarray(sample, dtype=float), return_counts=True)
+    return SparseHistogram(
+        centers=values[:, None], probs=counts / counts.sum()
+    )
+
+
+class TestTransportCost1d:
+    @given(finite, finite)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_exact_sample_emd(self, a, b):
+        """Point-mass histograms through the 1-D closed form == emd_1d."""
+        ha, hb = _point_mass_histogram(a), _point_mass_histogram(b)
+        fast = transport_cost_1d(ha.centers.ravel(), ha.probs, hb.centers.ravel(), hb.probs)
+        assert fast == pytest.approx(emd_1d(np.asarray(a), np.asarray(b)), rel=1e-9, abs=1e-9)
+
+    @given(finite, finite)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dense_simplex(self, a, b):
+        """The closed form equals the dense transportation-simplex optimum."""
+        ha, hb = _point_mass_histogram(a), _point_mass_histogram(b)
+        cost = np.abs(ha.centers[:, None, 0] - hb.centers[None, :, 0])
+        dense = solve_transport(ha.probs, hb.probs, cost, backend="simplex")
+        fast = transport_cost_1d(ha.centers.ravel(), ha.probs, hb.centers.ravel(), hb.probs)
+        assert fast == pytest.approx(dense.cost, rel=1e-8, abs=1e-9)
+
+    @given(finite, finite)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_nonnegative(self, a, b):
+        ha, hb = _point_mass_histogram(a), _point_mass_histogram(b)
+        d_ab = transport_cost_1d(ha.centers.ravel(), ha.probs, hb.centers.ravel(), hb.probs)
+        d_ba = transport_cost_1d(hb.centers.ravel(), hb.probs, ha.centers.ravel(), ha.probs)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(d_ba, rel=1e-12, abs=1e-12)
+
+    @given(finite)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_on_identical(self, a):
+        h = _point_mass_histogram(a)
+        assert transport_cost_1d(
+            h.centers.ravel(), h.probs, h.centers.ravel(), h.probs
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unsorted_positions_handled(self):
+        # positions arrive in occupied-bin order, not necessarily sorted
+        d = transport_cost_1d([3.0, 0.0], [0.5, 0.5], [0.0, 3.0], [0.5, 0.5])
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_mass_scaling(self):
+        # doubling total mass doubles the cost (un-normalised transport cost)
+        base = transport_cost_1d([0.0], [1.0], [2.0], [1.0])
+        double = transport_cost_1d([0.0], [2.0], [2.0], [2.0])
+        assert base == pytest.approx(2.0)
+        assert double == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            transport_cost_1d([0.0], [1.0], [1.0], [2.0])  # unbalanced
+        with pytest.raises(TransportError):
+            transport_cost_1d([0.0], [1.0, 2.0], [1.0], [3.0])  # ragged
+        with pytest.raises(TransportError):
+            transport_cost_1d([np.inf], [1.0], [1.0], [1.0])  # non-finite pos
+
+
+class TestHistogram1dFastPath:
+    def test_univariate_histograms_bypass_solver(self, rng):
+        """emd_between_histograms on 1-D == the dense solve it replaces."""
+        x = rng.normal(size=(400, 1))
+        y = rng.normal(0.7, 1.2, size=(400, 1))
+        hp, hq = HistogramBinner(n_bins=24).histogram_pair(x, y)
+        fast = emd_between_histograms(hp, hq)
+        diff = np.abs(hp.centers[:, None, 0] - hq.centers[None, :, 0])
+        dense = solve_transport(hp.probs, hq.probs, diff, backend="simplex")
+        assert fast == pytest.approx(dense.cost / dense.flow.sum(), rel=1e-8)
+
+    def test_dim_mismatch_raises(self, rng):
+        hp = _point_mass_histogram(rng.normal(size=10))
+        hq, _ = HistogramBinner(n_bins=4).histogram_pair(
+            rng.normal(size=(50, 2)), rng.normal(size=(50, 2))
+        )
+        with pytest.raises(DistanceError):
+            emd_between_histograms(hp, hq)
+
+
+class TestPairwise:
+    def test_single_candidate_matches_compute_multivariate(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = rng.normal(0.4, 1.1, size=(300, 3))
+        d = EarthMoverDistance(n_bins=6)
+        assert d.pairwise(x, [y]) == [pytest.approx(d(x, y), rel=1e-12)]
+
+    def test_single_candidate_matches_compute_1d(self, rng):
+        x = rng.normal(size=(300, 1))
+        y = rng.normal(1.0, 1.0, size=(300, 1))
+        d = EarthMoverDistance()
+        assert d.pairwise(x, [y]) == [pytest.approx(d(x, y), rel=1e-12)]
+
+    def test_exact_1d_reference_cached_once(self, rng):
+        """Batch answers equal one-at-a-time answers on the exact path."""
+        x = rng.normal(size=500)
+        candidates = [x + shift for shift in (0.0, 0.5, 2.0)]
+        d = EarthMoverDistance()
+        batch = d.pairwise(x[:, None], [c[:, None] for c in candidates])
+        singles = [d(x, c) for c in candidates]
+        assert batch == pytest.approx(singles, rel=1e-12)
+        assert batch[0] == pytest.approx(0.0, abs=1e-12)
+        assert batch[1] < batch[2]
+
+    def test_shared_grid_close_to_per_pair(self, rng):
+        """Shared-grid distances track per-pair ones (binning insensitivity)."""
+        x = rng.normal(size=(600, 2))
+        candidates = [x + np.array([s, 0.0]) for s in (0.3, 1.0, 2.0)]
+        d = EarthMoverDistance(n_bins=12)
+        batch = d.pairwise(x, candidates)
+        singles = [d(x, c) for c in candidates]
+        for b, s in zip(batch, singles):
+            assert b == pytest.approx(s, rel=0.25, abs=0.05)
+        assert batch[0] < batch[1] < batch[2]
+
+    def test_empty_candidates(self, rng):
+        assert EarthMoverDistance().pairwise(rng.normal(size=(10, 1)), []) == []
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(DistanceError):
+            EarthMoverDistance().pairwise(
+                rng.normal(size=(10, 2)), [rng.normal(size=(10, 3))]
+            )
+
+    def test_pairwise_emd_function(self, rng):
+        x = rng.normal(size=(200, 2))
+        y = x + 0.5
+        via_fn = pairwise_emd(x, [y], n_bins=8)
+        via_cls = EarthMoverDistance(n_bins=8).pairwise(x, [y])
+        assert via_fn == pytest.approx(via_cls, rel=1e-12)
+
+
+class TestDistortionBatch:
+    def test_batch_matches_scalar_for_one_treated(self, tiny_pair, raw_context):
+        from repro.cleaning.registry import strategy_by_name
+
+        treated = strategy_by_name("strategy4").clean(tiny_pair.dirty, raw_context)
+        scalar = statistical_distortion(tiny_pair.dirty, treated)
+        batch = statistical_distortion_batch(tiny_pair.dirty, [treated])
+        assert batch == [pytest.approx(scalar, rel=1e-12)]
+
+    def test_batch_order_and_identity(self, tiny_pair, raw_context):
+        from repro.cleaning.registry import strategy_by_name
+
+        treated = strategy_by_name("strategy4").clean(tiny_pair.dirty, raw_context)
+        batch = statistical_distortion_batch(
+            tiny_pair.dirty, [tiny_pair.dirty, treated]
+        )
+        assert batch[0] == pytest.approx(0.0, abs=1e-9)
+        assert batch[1] > 0.0

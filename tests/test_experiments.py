@@ -3,10 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.framework import ExperimentConfig
+from repro.core.executor import SerialBackend, ThreadBackend
+from repro.core.framework import ExperimentConfig, ExperimentRunner
 from repro.errors import ExperimentError
 from repro.experiments.config import (
     SCALES,
+    backend_from_env,
     build_population,
     experiment_config,
     scale_from_env,
@@ -53,6 +55,24 @@ class TestScales:
         monkeypatch.delenv("REPRO_SCALE")
         assert scale_from_env(default="small") == "small"
 
+    def test_scale_from_env_normalises_case_and_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "  PaPeR  ")
+        assert scale_from_env() == "paper"
+
+    def test_scale_from_env_overrides_default(self, monkeypatch):
+        # precedence: environment beats the caller's default
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert scale_from_env(default="paper") == "tiny"
+
+    def test_scale_from_env_empty_string_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "")
+        with pytest.raises(ExperimentError):
+            scale_from_env()
+
+    def test_experiment_config_rejects_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            experiment_config("huge")
+
     def test_build_population_rejects_unknown_scale(self):
         with pytest.raises(ExperimentError):
             build_population(scale="huge")
@@ -66,6 +86,85 @@ class TestScales:
             tiny_bundle.population
         )
         assert tiny_bundle.scale == "tiny"
+
+
+class TestBackendSelection:
+    def test_backend_from_env_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_from_env() is None
+        assert backend_from_env(default="thread") == "thread"
+
+    def test_backend_from_env_reads_and_normalises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", " Process:2 ")
+        assert backend_from_env() == "process:2"
+
+    def test_backend_from_env_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(ExperimentError):
+            backend_from_env()
+        monkeypatch.delenv("REPRO_BACKEND")
+        with pytest.raises(ExperimentError):
+            backend_from_env(default="gpu")
+
+    def test_experiment_config_carries_backend(self):
+        cfg = experiment_config("tiny", backend="thread", n_workers=2)
+        assert cfg.backend == "thread"
+        assert cfg.n_workers == 2
+
+    def test_experiment_config_rejects_bad_backend(self):
+        with pytest.raises(ExperimentError):
+            experiment_config("tiny", backend="warp-drive")
+
+    def test_run_figure6_backend_override(self, tiny_bundle, cfg, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        result = run_figure6(
+            tiny_bundle, cfg, backend=ThreadBackend(n_workers=2)
+        )
+        assert len(result.outcomes) == 2 * 5
+
+    def test_runner_env_precedence_over_config(self, tiny_bundle, monkeypatch):
+        # REPRO_BACKEND beats the config's name...
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        runner = ExperimentRunner(
+            tiny_bundle.dirty,
+            tiny_bundle.ideal,
+            config=ExperimentConfig(n_replications=1, sample_size=5, backend="thread"),
+        )
+        assert isinstance(runner.resolve_backend(), SerialBackend)
+        # ...but an explicitly constructed instance beats the environment.
+        runner = ExperimentRunner(
+            tiny_bundle.dirty,
+            tiny_bundle.ideal,
+            config=ExperimentConfig(n_replications=1, sample_size=5),
+            backend=ThreadBackend(n_workers=1),
+        )
+        assert isinstance(runner.resolve_backend(), ThreadBackend)
+
+
+class TestConfigVariant:
+    def test_variant_flips_transform(self):
+        cfg = ExperimentConfig(log_transform=True)
+        assert cfg.transform is not None
+        assert cfg.variant(log_transform=False).transform is None
+
+    def test_variant_revalidates(self):
+        cfg = ExperimentConfig()
+        with pytest.raises(Exception):
+            cfg.variant(n_replications=0)
+        with pytest.raises(ExperimentError):
+            cfg.variant(sigma_k=-1.0)
+        with pytest.raises(ExperimentError):
+            cfg.variant(backend="bogus")
+
+    def test_variant_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            ExperimentConfig().variant(sample_sise=10)
+
+    def test_variant_preserves_untouched_fields(self):
+        cfg = ExperimentConfig(seed=42, backend="process:2", n_workers=2)
+        v = cfg.variant(sample_size=7)
+        assert (v.seed, v.backend, v.n_workers) == (42, "process:2", 2)
+        assert cfg.sample_size == 100  # original untouched (frozen)
 
 
 class TestFigure3:

@@ -11,7 +11,7 @@ from repro.glitches.types import (
     GlitchType,
 )
 
-from conftest import make_series
+from helpers import make_series
 
 
 @pytest.fixture()

@@ -18,7 +18,7 @@ from repro.cleaning.remeasure import RemeasureStrategy
 from repro.errors import CleaningError
 from repro.glitches.detectors import ScaleTransform
 
-from conftest import make_series
+from helpers import make_series
 
 
 class TestMeanImputation:

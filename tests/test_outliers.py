@@ -14,7 +14,7 @@ from repro.glitches.outliers import (
     WindowedOutlierDetector,
 )
 
-from conftest import make_dataset, make_series
+from helpers import make_dataset, make_series
 
 
 @pytest.fixture()

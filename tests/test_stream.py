@@ -7,7 +7,7 @@ from repro.data.stream import DEFAULT_ATTRIBUTES, TimeSeries
 from repro.data.topology import NodeId
 from repro.errors import DataShapeError
 
-from conftest import make_series
+from helpers import make_series
 
 
 class TestConstruction:

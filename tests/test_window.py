@@ -6,7 +6,7 @@ import pytest
 from repro.data.window import WindowHistory
 from repro.errors import ValidationError
 
-from conftest import make_series
+from helpers import make_series
 
 
 @pytest.fixture()
