@@ -16,15 +16,10 @@ from __future__ import annotations
 import time
 
 from repro.cleaning.registry import paper_strategies
-from repro.core.executor import (
-    ProcessBackend,
-    SerialBackend,
-    ThreadBackend,
-    default_worker_count,
-)
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
 from repro.core.framework import ExperimentRunner
 
-from bench_utils import run_once
+from bench_utils import print_speedup_table, run_once
 
 #: Worker count the acceptance experiment pins (capped by available CPUs
 #: inside the backends' ``map``).
@@ -70,15 +65,12 @@ def test_parallel_speedup(benchmark, bundle, config):
     assert [_outcome_key(o) for o in thread_result.outcomes] == serial_keys
     assert [_outcome_key(o) for o in process_result.outcomes] == serial_keys
 
-    cpus = default_worker_count()
-    print()
-    print(
+    print_speedup_table(
         f"Figure 6 run: R={config.n_replications}, B={config.sample_size}, "
-        f"5 strategies | {cpus} CPU(s) available, {N_WORKERS} workers requested"
+        "5 strategies",
+        serial_s,
+        thread_s,
+        process_s,
+        N_WORKERS,
+        identity_subject="outcome-identity",
     )
-    print(f"  serial   {serial_s:8.2f}s   1.00x")
-    print(f"  thread   {thread_s:8.2f}s   {serial_s / thread_s:.2f}x")
-    print(f"  process  {process_s:8.2f}s   {serial_s / process_s:.2f}x")
-    if cpus == 1:
-        print("  (single-CPU machine: no parallel speedup is physically possible;")
-        print("   outcome-identity across backends is still fully verified)")

@@ -8,9 +8,36 @@ directory was collected first).
 
 from __future__ import annotations
 
-__all__ = ["run_once"]
+from repro.core.executor import default_worker_count
+
+__all__ = ["run_once", "print_speedup_table"]
 
 
 def run_once(benchmark, fn):
     """Run *fn* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_speedup_table(
+    header: str,
+    serial_s: float,
+    thread_s: float,
+    process_s: float,
+    n_workers: int,
+    identity_subject: str,
+) -> None:
+    """Serial/thread/process wall-clock table shared by the parallel benches.
+
+    Prints the honest single-CPU caveat when no speedup is physically
+    possible; *identity_subject* names what the accompanying bitwise
+    identity check covered.
+    """
+    cpus = default_worker_count()
+    print()
+    print(f"{header} | {cpus} CPU(s) available, {n_workers} workers requested")
+    print(f"  serial   {serial_s:8.2f}s   1.00x")
+    print(f"  thread   {thread_s:8.2f}s   {serial_s / thread_s:.2f}x")
+    print(f"  process  {process_s:8.2f}s   {serial_s / process_s:.2f}x")
+    if cpus == 1:
+        print("  (single-CPU machine: no parallel speedup is physically possible;")
+        print(f"   {identity_subject} across backends is still fully verified)")

@@ -51,8 +51,11 @@ from repro.core import (
     ExperimentResult,
     ExperimentRunner,
     GlitchWeights,
+    Pipeline,
     ProcessBackend,
     SerialBackend,
+    ShardSpec,
+    ShardedStage,
     StrategyOutcome,
     StrategySummary,
     ThreadBackend,
@@ -178,6 +181,9 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "Pipeline",
+    "ShardSpec",
+    "ShardedStage",
     "StrategyOutcome",
     "StrategySummary",
     "summarize_outcomes",

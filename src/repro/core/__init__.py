@@ -31,6 +31,13 @@ from repro.core.glitch_index import (
     glitch_index,
     series_glitch_scores,
 )
+from repro.core.pipeline import (
+    Pipeline,
+    ShardSpec,
+    ShardedStage,
+    build_shards,
+    plan_shards,
+)
 from repro.core.tradeoff import (
     TradeoffPoint,
     knee_point,
@@ -55,6 +62,11 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "Pipeline",
+    "ShardSpec",
+    "ShardedStage",
+    "plan_shards",
+    "build_shards",
     "StrategyOutcome",
     "StrategySummary",
     "summarize_outcomes",

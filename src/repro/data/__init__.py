@@ -8,8 +8,13 @@ glitch injector that reproduces the paper's glitch mix.
 """
 
 from repro.data.dataset import StreamDataset
-from repro.data.generator import GeneratorConfig, NetworkDataGenerator
-from repro.data.glitch_injection import GlitchInjectionConfig, GlitchInjector
+from repro.data.generator import GenerationShard, GeneratorConfig, NetworkDataGenerator, generate_shard
+from repro.data.glitch_injection import (
+    GlitchInjectionConfig,
+    GlitchInjector,
+    InjectionShard,
+    inject_shard,
+)
 from repro.data.stream import TimeSeries
 from repro.data.topology import NetworkTopology, NodeId
 from repro.data.window import WindowHistory
@@ -22,6 +27,10 @@ __all__ = [
     "WindowHistory",
     "GeneratorConfig",
     "NetworkDataGenerator",
+    "GenerationShard",
+    "generate_shard",
     "GlitchInjectionConfig",
     "GlitchInjector",
+    "InjectionShard",
+    "inject_shard",
 ]

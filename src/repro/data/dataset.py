@@ -147,6 +147,20 @@ class StreamDataset:
         return self.map(lambda s: s.transformed(attribute, forward))
 
     @staticmethod
+    def from_shards(chunks: Iterable[Iterable[TimeSeries]]) -> "StreamDataset":
+        """Deterministic merge of per-shard series lists into one data set.
+
+        *chunks* are the outputs of a sharded stage in shard order (shard
+        ``k`` holds the series of index range ``[start_k, stop_k)``); the
+        merge is plain ordered concatenation, so the result is identical to
+        a serial pass regardless of shard layout or execution backend.
+        """
+        series: list[TimeSeries] = []
+        for chunk in chunks:
+            series.extend(chunk)
+        return StreamDataset(series)
+
+    @staticmethod
     def concat(datasets: Sequence["StreamDataset"]) -> "StreamDataset":
         """Concatenate several data sets into one."""
         if not datasets:

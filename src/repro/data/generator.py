@@ -25,16 +25,25 @@ The generator produces *clean* truth; glitches are layered on by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.data.dataset import StreamDataset
 from repro.data.stream import DEFAULT_ATTRIBUTES, TimeSeries
-from repro.data.topology import NetworkTopology
+from repro.data.topology import NetworkTopology, NodeId
 from repro.errors import ValidationError
 from repro.utils.rng import Seed, as_generator
 
-__all__ = ["GeneratorConfig", "NetworkDataGenerator"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> cleaning -> data)
+    from repro.core.pipeline import Pipeline, ShardSpec, ShardedStage
+
+__all__ = [
+    "GeneratorConfig",
+    "GenerationShard",
+    "generate_shard",
+    "NetworkDataGenerator",
+]
 
 
 @dataclass(frozen=True)
@@ -132,8 +141,48 @@ class GeneratorConfig:
         return self.n_rnc * self.towers_per_rnc * self.sectors_per_tower
 
 
+@dataclass(frozen=True)
+class GenerationShard:
+    """Picklable work unit: generate the series of one contiguous node range.
+
+    ``shard.seeds[i]`` is the pre-spawned stream of node ``nodes[i]``; every
+    series is a function of the config and its own stream alone, so shards
+    can be generated in any order, on any backend, with identical output.
+    """
+
+    config: GeneratorConfig
+    nodes: tuple[NodeId, ...]
+    shard: ShardSpec
+
+
+def generate_shard(unit: GenerationShard) -> list[TimeSeries]:
+    """Generate the clean series of one :class:`GenerationShard`."""
+    return [
+        _node_series(unit.config, node, np.random.default_rng(seq))
+        for node, seq in zip(unit.nodes, unit.shard.seeds)
+    ]
+
+
+def _node_series(
+    cfg: GeneratorConfig, node: NodeId, rng: np.random.Generator
+) -> TimeSeries:
+    """One node's clean series from its own random stream."""
+    length = (
+        cfg.series_length
+        if cfg.min_length == cfg.series_length
+        else int(rng.integers(cfg.min_length, cfg.series_length + 1))
+    )
+    values = _node_values(cfg, rng, length)
+    return TimeSeries(node, values, DEFAULT_ATTRIBUTES, truth=values.copy())
+
+
 class NetworkDataGenerator:
     """Generates clean multivariate streams on a three-level hierarchy.
+
+    Generation is shard-parallel: every node draws from its own random
+    stream pre-spawned from the generator seed by node index, so the output
+    for a given seed is identical whether :meth:`generate` runs serially or
+    fans :class:`GenerationShard` units across an execution backend.
 
     Examples
     --------
@@ -152,63 +201,83 @@ class NetworkDataGenerator:
             self.config.sectors_per_tower,
         )
 
-    def generate(self) -> StreamDataset:
+    def generate_shards(
+        self, pipeline: "Optional[Pipeline]" = None
+    ) -> "tuple[list[ShardSpec], ShardedStage]":
+        """Shard specs plus the generation stage over disjoint node ranges.
+
+        Per-node seed streams are spawned up front from the generator seed,
+        so the resulting work units produce the same series under any shard
+        layout or backend.
+        """
+        from repro.core.pipeline import Pipeline, ShardedStage
+
+        pipeline = pipeline or Pipeline()
+        cfg = self.config
+        nodes = self.topology.nodes
+        shards = pipeline.shards(len(nodes), seed=self._rng)
+        stage = ShardedStage(
+            "generate",
+            generate_shard,
+            lambda s: GenerationShard(
+                config=cfg, nodes=tuple(nodes[s.start : s.stop]), shard=s
+            ),
+        )
+        return shards, stage
+
+    def generate(self, backend=None, shard_size: Optional[int] = None) -> StreamDataset:
         """Generate the clean population data set.
 
         Each returned series carries its own values as ``truth`` so that
         downstream glitch injection can preserve the pre-glitch ground truth.
+        ``backend`` selects the execution backend fanning the shards out (a
+        name, an :class:`~repro.core.executor.ExecutionBackend`, or a
+        :class:`~repro.core.pipeline.Pipeline`); the default is serial and
+        every choice yields bitwise-identical data.
         """
-        cfg = self.config
-        rng = self._rng
-        series = []
-        for node in self.topology:
-            length = (
-                cfg.series_length
-                if cfg.min_length == cfg.series_length
-                else int(rng.integers(cfg.min_length, cfg.series_length + 1))
-            )
-            values = self._generate_node(rng, length)
-            series.append(
-                TimeSeries(node, values, DEFAULT_ATTRIBUTES, truth=values.copy())
-            )
-        return StreamDataset(series)
+        from repro.core.pipeline import Pipeline
 
-    # -- internals -----------------------------------------------------------------
+        pipeline = Pipeline.coerce(backend, shard_size=shard_size)
+        shards, stage = self.generate_shards(pipeline)
+        return StreamDataset.from_shards(pipeline.run_chunks(stage, shards))
 
-    def _generate_node(self, rng: np.random.Generator, length: int) -> np.ndarray:
-        cfg = self.config
-        t = np.arange(length)
 
-        # Log-scale signal Z for attribute 1: node effect + diurnal cycle +
-        # left-skewed innovation. exp(Z) is then heavily right-skewed while
-        # log(attr1) = Z is left-skewed, which is what flips the Winsorized
-        # tail under the log transform (Section 5.3).
-        node_mu = cfg.attr1_log_mean + rng.normal(0.0, cfg.attr1_node_sd)
-        amp = rng.uniform(*cfg.attr1_diurnal_amp_range)
-        phase = rng.uniform(0.0, 2.0 * np.pi)
-        diurnal = amp * np.sin(2.0 * np.pi * t / cfg.diurnal_period + phase)
-        shape, scale = cfg.attr1_innovation_shape, cfg.attr1_innovation_scale
-        innovation = shape * scale - rng.gamma(shape, scale, size=length)
-        z = node_mu + diurnal + innovation
-        attr1 = np.exp(z)
+# -- internals -------------------------------------------------------------------
 
-        # Attribute 2: log-linearly coupled to Z plus independent noise.
-        attr2 = np.exp(
-            cfg.attr2_log_mean
-            + cfg.attr2_coupling * (z - cfg.attr1_log_mean)
-            + rng.normal(0.0, cfg.attr2_noise_sd, size=length)
-        )
 
-        # Legitimate usage surges hit attributes 1 and 2 together.
-        surge = rng.random(length) < cfg.surge_prob
-        n_surge = int(surge.sum())
-        if n_surge:
-            attr1[surge] *= rng.uniform(*cfg.attr1_surge_range, size=n_surge)
-            attr2[surge] *= rng.uniform(*cfg.attr2_surge_range, size=n_surge)
+def _node_values(cfg: GeneratorConfig, rng: np.random.Generator, length: int) -> np.ndarray:
+    t = np.arange(length)
 
-        # Attribute 3: a ratio hugging 1 with a left tail; load pushes it down.
-        deficit = rng.gamma(cfg.attr3_deficit_shape, cfg.attr3_deficit_scale, size=length)
-        load_term = cfg.attr3_load_coupling * np.maximum(z - node_mu, 0.0)
-        attr3 = np.clip(1.0 - deficit - load_term, 0.0, 1.0)
+    # Log-scale signal Z for attribute 1: node effect + diurnal cycle +
+    # left-skewed innovation. exp(Z) is then heavily right-skewed while
+    # log(attr1) = Z is left-skewed, which is what flips the Winsorized
+    # tail under the log transform (Section 5.3).
+    node_mu = cfg.attr1_log_mean + rng.normal(0.0, cfg.attr1_node_sd)
+    amp = rng.uniform(*cfg.attr1_diurnal_amp_range)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    diurnal = amp * np.sin(2.0 * np.pi * t / cfg.diurnal_period + phase)
+    shape, scale = cfg.attr1_innovation_shape, cfg.attr1_innovation_scale
+    innovation = shape * scale - rng.gamma(shape, scale, size=length)
+    z = node_mu + diurnal + innovation
+    attr1 = np.exp(z)
 
-        return np.column_stack([attr1, attr2, attr3])
+    # Attribute 2: log-linearly coupled to Z plus independent noise.
+    attr2 = np.exp(
+        cfg.attr2_log_mean
+        + cfg.attr2_coupling * (z - cfg.attr1_log_mean)
+        + rng.normal(0.0, cfg.attr2_noise_sd, size=length)
+    )
+
+    # Legitimate usage surges hit attributes 1 and 2 together.
+    surge = rng.random(length) < cfg.surge_prob
+    n_surge = int(surge.sum())
+    if n_surge:
+        attr1[surge] *= rng.uniform(*cfg.attr1_surge_range, size=n_surge)
+        attr2[surge] *= rng.uniform(*cfg.attr2_surge_range, size=n_surge)
+
+    # Attribute 3: a ratio hugging 1 with a left tail; load pushes it down.
+    deficit = rng.gamma(cfg.attr3_deficit_shape, cfg.attr3_deficit_scale, size=length)
+    load_term = cfg.attr3_load_coupling * np.maximum(z - node_mu, 0.0)
+    attr3 = np.clip(1.0 - deficit - load_term, 0.0, 1.0)
+
+    return np.column_stack([attr1, attr2, attr3])

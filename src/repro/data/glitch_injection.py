@@ -25,6 +25,7 @@ masks of exactly what it did, enabling detector-accuracy tests and oracle
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -32,13 +33,18 @@ from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 from repro.data.topology import NodeId
 from repro.errors import ValidationError
-from repro.utils.rng import Seed, as_generator
+from repro.utils.rng import Seed, as_generator, spawn_sequences
 from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> cleaning -> data)
+    from repro.core.pipeline import Pipeline, ShardSpec, ShardedStage
 
 __all__ = [
     "GlitchInjectionConfig",
     "SeriesInjection",
     "InjectionResult",
+    "InjectionShard",
+    "inject_shard",
     "GlitchInjector",
 ]
 
@@ -232,165 +238,244 @@ def _burst_mask(
     return mask
 
 
+@dataclass(frozen=True)
+class InjectionShard:
+    """Picklable work unit: glitch one contiguous range of clean series.
+
+    ``events`` is the network-wide event mask — global state drawn once,
+    centrally, from its own stream before the fan-out; ``shard.seeds[i]`` is
+    the pre-spawned stream of series ``series[i]``, so shards glitch their
+    disjoint row ranges independently and identically on every backend.
+    """
+
+    config: GlitchInjectionConfig
+    series: tuple[TimeSeries, ...]
+    events: np.ndarray
+    shard: ShardSpec
+
+
+def inject_shard(unit: InjectionShard) -> list[tuple[TimeSeries, SeriesInjection]]:
+    """Glitch the series of one :class:`InjectionShard`."""
+    return [
+        _inject_one(unit.config, series, np.random.default_rng(seq), unit.events)
+        for series, seq in zip(unit.series, unit.shard.seeds)
+    ]
+
+
+def _inject_one(
+    cfg: GlitchInjectionConfig,
+    series: TimeSeries,
+    rng: np.random.Generator,
+    events: np.ndarray,
+) -> tuple[TimeSeries, SeriesInjection]:
+    """Glitch one series from its own random stream."""
+    glitchy = bool(rng.random() < cfg.glitchy_fraction)
+    # Mean-one log-normal multiplier: heterogeneity across series without
+    # shifting the population glitch rates.
+    scale = (
+        float(
+            np.exp(
+                rng.normal(0.0, cfg.intensity_sigma) - 0.5 * cfg.intensity_sigma**2
+            )
+        )
+        if glitchy
+        else cfg.healthy_scale
+    )
+    return _inject_series(cfg, rng, series, scale, glitchy, events)
+
+
 class GlitchInjector:
-    """Applies the glitch model to a clean :class:`StreamDataset`."""
+    """Applies the glitch model to a clean :class:`StreamDataset`.
+
+    Injection is shard-parallel: the network-wide event windows are drawn
+    once from a dedicated stream, then every series is glitched from its own
+    stream pre-spawned from the injector seed by series index — so for a
+    given seed the dirty population is identical whether :meth:`inject` runs
+    serially or fans :class:`InjectionShard` units across a backend.
+    """
 
     def __init__(self, config: GlitchInjectionConfig | None = None, seed: Seed = None):
         self.config = config or GlitchInjectionConfig()
         self._rng = as_generator(seed)
 
-    def inject(self, dataset: StreamDataset) -> InjectionResult:
-        """Return a dirty copy of *dataset* plus the injection ledger."""
+    def inject_shards(
+        self, dataset: StreamDataset, pipeline: "Optional[Pipeline]" = None
+    ) -> "tuple[list[ShardSpec], ShardedStage]":
+        """Shard specs plus the injection stage over disjoint series ranges."""
+        from repro.core.pipeline import Pipeline, ShardedStage
+
+        pipeline = pipeline or Pipeline()
         cfg = self.config
-        rng = self._rng
-        max_len = dataset.max_length
-        events = self._event_windows(rng, max_len)
-        dirty_series: list[TimeSeries] = []
-        records: list[SeriesInjection] = []
-        for series in dataset:
-            glitchy = bool(rng.random() < cfg.glitchy_fraction)
-            # Mean-one log-normal multiplier: heterogeneity across series
-            # without shifting the population glitch rates.
-            scale = (
-                float(
-                    np.exp(
-                        rng.normal(0.0, cfg.intensity_sigma)
-                        - 0.5 * cfg.intensity_sigma**2
-                    )
-                )
-                if glitchy
-                else cfg.healthy_scale
-            )
-            dirty, record = self._inject_series(rng, series, scale, glitchy, events)
-            dirty_series.append(dirty)
-            records.append(record)
-        return InjectionResult(StreamDataset(dirty_series), records)
+        event_seq, series_root = spawn_sequences(self._rng, 2)
+        events = _event_windows(
+            cfg, np.random.default_rng(event_seq), dataset.max_length
+        )
+        series = dataset.series
+        shards = pipeline.shards(len(series), seed=series_root)
+        stage = ShardedStage(
+            "inject",
+            inject_shard,
+            lambda s: InjectionShard(
+                config=cfg,
+                series=tuple(series[s.start : s.stop]),
+                events=events,
+                shard=s,
+            ),
+        )
+        return shards, stage
 
-    # -- internals ---------------------------------------------------------------
-
-    def _event_windows(self, rng: np.random.Generator, max_len: int) -> np.ndarray:
-        """Network-wide event mask over the global time axis."""
-        cfg = self.config
-        mask = np.zeros(max_len, dtype=bool)
-        lo, hi = cfg.event_length_range
-        for _ in range(cfg.n_events):
-            length = int(rng.integers(lo, hi + 1))
-            if length >= max_len:
-                mask[:] = True
-                continue
-            start = int(rng.integers(0, max_len - length))
-            mask[start : start + length] = True
-        return mask
-
-    def _inject_series(
+    def inject(
         self,
-        rng: np.random.Generator,
-        series: TimeSeries,
-        scale: float,
-        glitchy: bool,
-        events: np.ndarray,
-    ) -> tuple[TimeSeries, SeriesInjection]:
-        cfg = self.config
-        values = series.values.copy()
-        length, v = values.shape
-        event_here = events[:length]
-        sp = lambda p: min(1.0, p * scale)  # noqa: E731 - scaled probability
+        dataset: StreamDataset,
+        backend=None,
+        shard_size: Optional[int] = None,
+    ) -> InjectionResult:
+        """Return a dirty copy of *dataset* plus the injection ledger.
 
-        anomaly_mask = np.zeros((length, v), dtype=bool)
-        corruption_mask = np.zeros((length, v), dtype=bool)
-        missing_mask = np.zeros((length, v), dtype=bool)
+        ``backend`` selects the execution backend fanning the shards out (a
+        name, an :class:`~repro.core.executor.ExecutionBackend`, or a
+        :class:`~repro.core.pipeline.Pipeline`); the default is serial and
+        every choice yields a bitwise-identical dirty population and ledger.
+        """
+        from repro.core.pipeline import Pipeline
 
-        j1, j2, j3 = 0, 1, 2  # attr1, attr2, attr3 columns
-
-        # 1. anomalies (spikes/dips) -- corrupt values, detection comes later.
-        burst = _burst_mask(rng, length, sp(cfg.anomaly_enter), cfg.anomaly_exit)
-        burst |= event_here & (rng.random(length) < sp(cfg.event_anomaly_boost))
-        starts = np.flatnonzero(burst & ~np.roll(burst, 1))
-        if burst[0]:
-            starts = np.union1d(starts, [0])
-        # Label each burst with its own dip/spike decision so consecutive
-        # records share a regime, as real equipment faults do.
-        regime = np.zeros(length, dtype=bool)  # True = dip
-        for s in starts:
-            e = s
-            while e < length and burst[e]:
-                e += 1
-            regime[s:e] = rng.random() < cfg.dip_share
-        idx = np.flatnonzero(burst)
-        for t in idx:
-            if regime[t]:
-                factor = rng.uniform(*cfg.dip_factor_range)
-            else:
-                factor = rng.uniform(*cfg.spike_factor_range)
-            values[t, j1] *= factor
-            anomaly_mask[t, j1] = True
-            if rng.random() < cfg.attr2_coupling:
-                values[t, j2] *= factor
-                anomaly_mask[t, j2] = True
-
-        crash = rng.random(length) < sp(cfg.attr3_crash)
-        values[crash, j3] = rng.uniform(*cfg.attr3_crash_range, size=int(crash.sum()))
-        anomaly_mask[:, j3] |= crash
-
-        # 2. inconsistencies -- constraint-violating values.
-        neg = rng.random(length) < sp(cfg.negative_attr1)
-        values[neg, j1] = -np.abs(values[neg, j1]) * rng.uniform(
-            0.05, 0.5, size=int(neg.sum())
+        pipeline = Pipeline.coerce(backend, shard_size=shard_size)
+        shards, stage = self.inject_shards(dataset, pipeline)
+        chunks = pipeline.run_chunks(stage, shards)
+        dirty = StreamDataset.from_shards(
+            [dirty_s for dirty_s, _ in chunk] for chunk in chunks
         )
-        corruption_mask[neg, j1] = True
+        records = [record for chunk in chunks for _, record in chunk]
+        return InjectionResult(dirty, records)
 
-        oor = rng.random(length) < sp(cfg.attr3_out_of_range)
-        above = rng.random(length) < cfg.attr3_above_one_share
-        hi_mask = oor & above
-        lo_mask = oor & ~above
-        values[hi_mask, j3] = 1.0 + rng.uniform(0.01, 0.08, size=int(hi_mask.sum()))
-        values[lo_mask, j3] = -rng.uniform(0.01, 0.2, size=int(lo_mask.sum()))
-        corruption_mask[:, j3] |= oor
 
-        # 3. missing values -- outage bursts on attr3, partial loss of attr1/2.
-        outage = _burst_mask(rng, length, sp(cfg.outage_enter), cfg.outage_exit)
-        outage |= event_here & (rng.random(length) < sp(cfg.event_outage_boost))
-        # Counter faults: a slice of outage records loses attr1/attr2 instead
-        # of attr3, whose surviving value is a crashed ratio.
-        counter_fault = outage & (rng.random(length) < cfg.outage_ratio_crash)
-        ratio_outage = outage & ~counter_fault
-        missing_mask[ratio_outage, j3] = True
-        lost1 = ratio_outage & (rng.random(length) < cfg.attr1_loss_in_outage)
-        lost2 = ratio_outage & (rng.random(length) < cfg.attr2_loss_in_outage)
-        lost1 |= counter_fault
-        lost2 |= counter_fault
-        missing_mask[lost1, j1] = True
-        missing_mask[lost2, j2] = True
-        values[counter_fault, j3] = rng.uniform(
-            *cfg.ratio_crash_range, size=int(counter_fault.sum())
-        )
-        anomaly_mask[counter_fault, j3] = True
-        # Co-occurring stress: surviving attr1/attr2 values inside an outage
-        # record are often extreme (the fault that caused the outage). These
-        # records are incomplete, so the stress never reaches the pooled
-        # complete-row distribution — but it does reach the MVN imputer.
-        # One draw per record: the same fault stresses every surviving cell.
-        stress_record = ratio_outage & (rng.random(length) < cfg.outage_stress)
-        stressed1 = stress_record & ~lost1
-        stressed2 = stress_record & ~lost2
-        values[stressed1, j1] *= rng.uniform(
-            *cfg.stress_factor_range, size=int(stressed1.sum())
-        )
-        values[stressed2, j2] *= rng.uniform(
-            *cfg.stress_factor_range, size=int(stressed2.sum())
-        )
-        anomaly_mask[stressed1, j1] = True
-        anomaly_mask[stressed2, j2] = True
-        isolated = rng.random((length, v)) < sp(cfg.isolated_missing)
-        missing_mask |= isolated
-        values[missing_mask] = np.nan
+# -- internals -------------------------------------------------------------------
 
-        dirty = TimeSeries(series.node, values, series.attributes, truth=series.truth)
-        record = SeriesInjection(
-            node=series.node,
-            glitchy=glitchy,
-            missing_mask=missing_mask,
-            corruption_mask=corruption_mask & ~missing_mask,
-            anomaly_mask=anomaly_mask & ~missing_mask,
-        )
-        return dirty, record
+
+def _event_windows(
+    cfg: GlitchInjectionConfig, rng: np.random.Generator, max_len: int
+) -> np.ndarray:
+    """Network-wide event mask over the global time axis."""
+    mask = np.zeros(max_len, dtype=bool)
+    lo, hi = cfg.event_length_range
+    for _ in range(cfg.n_events):
+        length = int(rng.integers(lo, hi + 1))
+        if length >= max_len:
+            mask[:] = True
+            continue
+        start = int(rng.integers(0, max_len - length))
+        mask[start : start + length] = True
+    return mask
+
+
+def _inject_series(
+    cfg: GlitchInjectionConfig,
+    rng: np.random.Generator,
+    series: TimeSeries,
+    scale: float,
+    glitchy: bool,
+    events: np.ndarray,
+) -> tuple[TimeSeries, SeriesInjection]:
+    values = series.values.copy()
+    length, v = values.shape
+    event_here = events[:length]
+    sp = lambda p: min(1.0, p * scale)  # noqa: E731 - scaled probability
+
+    anomaly_mask = np.zeros((length, v), dtype=bool)
+    corruption_mask = np.zeros((length, v), dtype=bool)
+    missing_mask = np.zeros((length, v), dtype=bool)
+
+    j1, j2, j3 = 0, 1, 2  # attr1, attr2, attr3 columns
+
+    # 1. anomalies (spikes/dips) -- corrupt values, detection comes later.
+    burst = _burst_mask(rng, length, sp(cfg.anomaly_enter), cfg.anomaly_exit)
+    burst |= event_here & (rng.random(length) < sp(cfg.event_anomaly_boost))
+    starts = np.flatnonzero(burst & ~np.roll(burst, 1))
+    if burst[0]:
+        starts = np.union1d(starts, [0])
+    # Label each burst with its own dip/spike decision so consecutive
+    # records share a regime, as real equipment faults do.
+    regime = np.zeros(length, dtype=bool)  # True = dip
+    for s in starts:
+        e = s
+        while e < length and burst[e]:
+            e += 1
+        regime[s:e] = rng.random() < cfg.dip_share
+    idx = np.flatnonzero(burst)
+    for t in idx:
+        if regime[t]:
+            factor = rng.uniform(*cfg.dip_factor_range)
+        else:
+            factor = rng.uniform(*cfg.spike_factor_range)
+        values[t, j1] *= factor
+        anomaly_mask[t, j1] = True
+        if rng.random() < cfg.attr2_coupling:
+            values[t, j2] *= factor
+            anomaly_mask[t, j2] = True
+
+    crash = rng.random(length) < sp(cfg.attr3_crash)
+    values[crash, j3] = rng.uniform(*cfg.attr3_crash_range, size=int(crash.sum()))
+    anomaly_mask[:, j3] |= crash
+
+    # 2. inconsistencies -- constraint-violating values.
+    neg = rng.random(length) < sp(cfg.negative_attr1)
+    values[neg, j1] = -np.abs(values[neg, j1]) * rng.uniform(
+        0.05, 0.5, size=int(neg.sum())
+    )
+    corruption_mask[neg, j1] = True
+
+    oor = rng.random(length) < sp(cfg.attr3_out_of_range)
+    above = rng.random(length) < cfg.attr3_above_one_share
+    hi_mask = oor & above
+    lo_mask = oor & ~above
+    values[hi_mask, j3] = 1.0 + rng.uniform(0.01, 0.08, size=int(hi_mask.sum()))
+    values[lo_mask, j3] = -rng.uniform(0.01, 0.2, size=int(lo_mask.sum()))
+    corruption_mask[:, j3] |= oor
+
+    # 3. missing values -- outage bursts on attr3, partial loss of attr1/2.
+    outage = _burst_mask(rng, length, sp(cfg.outage_enter), cfg.outage_exit)
+    outage |= event_here & (rng.random(length) < sp(cfg.event_outage_boost))
+    # Counter faults: a slice of outage records loses attr1/attr2 instead
+    # of attr3, whose surviving value is a crashed ratio.
+    counter_fault = outage & (rng.random(length) < cfg.outage_ratio_crash)
+    ratio_outage = outage & ~counter_fault
+    missing_mask[ratio_outage, j3] = True
+    lost1 = ratio_outage & (rng.random(length) < cfg.attr1_loss_in_outage)
+    lost2 = ratio_outage & (rng.random(length) < cfg.attr2_loss_in_outage)
+    lost1 |= counter_fault
+    lost2 |= counter_fault
+    missing_mask[lost1, j1] = True
+    missing_mask[lost2, j2] = True
+    values[counter_fault, j3] = rng.uniform(
+        *cfg.ratio_crash_range, size=int(counter_fault.sum())
+    )
+    anomaly_mask[counter_fault, j3] = True
+    # Co-occurring stress: surviving attr1/attr2 values inside an outage
+    # record are often extreme (the fault that caused the outage). These
+    # records are incomplete, so the stress never reaches the pooled
+    # complete-row distribution — but it does reach the MVN imputer.
+    # One draw per record: the same fault stresses every surviving cell.
+    stress_record = ratio_outage & (rng.random(length) < cfg.outage_stress)
+    stressed1 = stress_record & ~lost1
+    stressed2 = stress_record & ~lost2
+    values[stressed1, j1] *= rng.uniform(
+        *cfg.stress_factor_range, size=int(stressed1.sum())
+    )
+    values[stressed2, j2] *= rng.uniform(
+        *cfg.stress_factor_range, size=int(stressed2.sum())
+    )
+    anomaly_mask[stressed1, j1] = True
+    anomaly_mask[stressed2, j2] = True
+    isolated = rng.random((length, v)) < sp(cfg.isolated_missing)
+    missing_mask |= isolated
+    values[missing_mask] = np.nan
+
+    dirty = TimeSeries(series.node, values, series.attributes, truth=series.truth)
+    record = SeriesInjection(
+        node=series.node,
+        glitchy=glitchy,
+        missing_mask=missing_mask,
+        corruption_mask=corruption_mask & ~missing_mask,
+        anomaly_mask=anomaly_mask & ~missing_mask,
+    )
+    return dirty, record

@@ -31,6 +31,7 @@ from typing import Optional
 
 from repro.core.executor import parse_backend_spec
 from repro.core.framework import ExperimentConfig
+from repro.core.pipeline import Pipeline
 from repro.data.dataset import StreamDataset
 from repro.data.generator import GeneratorConfig, NetworkDataGenerator
 from repro.data.glitch_injection import (
@@ -44,7 +45,7 @@ from repro.glitches.detectors import (
     DetectorSuite,
     identify_ideal,
 )
-from repro.utils.rng import Seed, as_generator
+from repro.utils.rng import Seed, as_generator, spawn_sequences
 
 __all__ = [
     "SCALES",
@@ -101,19 +102,20 @@ def scale_from_env(default: str = "small") -> str:
 def backend_from_env(default: Optional[str] = None) -> Optional[str]:
     """Resolve the execution-backend spec from ``REPRO_BACKEND``.
 
-    Returns a validated ``"name"`` / ``"name:workers"`` spec, or *default*
-    (unvalidated ``None`` allowed — the runner then falls back to serial)
+    Returns a validated, normalised (lowercased, stripped) ``"name"`` /
+    ``"name:workers"`` spec, or *default* — validated and normalised the
+    same way; ``None`` is allowed and makes the runner fall back to serial —
     when the variable is unset or blank. Unknown names raise
     :class:`~repro.errors.ExperimentError` here rather than deep inside a
     run.
     """
     spec = os.environ.get("REPRO_BACKEND", "").strip()
     if not spec:
-        if default is not None:
-            parse_backend_spec(default)
-        return default
+        if default is None:
+            return None
+        spec = default
     parse_backend_spec(spec)
-    return spec.lower()
+    return spec.strip().lower()
 
 
 @dataclass
@@ -143,14 +145,52 @@ class PopulationBundle:
         """The ideal population ``DI``."""
         return self.partition.ideal
 
+    def fingerprint(self) -> dict:
+        """The bundle reduced to comparable primitives.
+
+        Covers everything the sharded build's determinism contract pins —
+        population and clean values, the full injection ledger, the
+        dirty/ideal split, and the fitted detector limits. Two bundles are
+        bitwise-identical builds iff their fingerprints compare equal; the
+        cross-backend tests and benchmarks share this definition so the
+        contract is stated once.
+        """
+        limits = self.suite.outlier_detector.limits
+        return {
+            "values": [s.values.tobytes() for s in self.population],
+            "clean": [s.values.tobytes() for s in self.clean],
+            "glitchy": [r.glitchy for r in self.injection.records],
+            "missing": [r.missing_mask.tobytes() for r in self.injection.records],
+            "corruption": [
+                r.corruption_mask.tobytes() for r in self.injection.records
+            ],
+            "anomaly": [r.anomaly_mask.tobytes() for r in self.injection.records],
+            "ideal_indices": self.partition.ideal_indices,
+            "dirty_indices": self.partition.dirty_indices,
+            "limits": {a: limits.bounds(a) for a in limits.attributes},
+        }
+
 
 def build_population(
     scale: str = "small",
     seed: Seed = 0,
     generator_config: Optional[GeneratorConfig] = None,
     injection_config: Optional[GlitchInjectionConfig] = None,
+    backend: Optional[object] = None,
+    n_workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
 ) -> PopulationBundle:
-    """Generate, glitch, and partition one population.
+    """Generate, glitch, and partition one population — a staged pipeline.
+
+    The three stages (generate -> inject -> identify_ideal) run shard-parallel
+    over one :class:`~repro.core.pipeline.Pipeline`: ``backend`` accepts a
+    name (``"serial"``/``"thread"``/``"process:4"``), an
+    :class:`~repro.core.executor.ExecutionBackend` instance, or ``None`` to
+    defer to the ``REPRO_BACKEND`` environment variable — the same knob the
+    experiment runner honours. Every per-series random stream is pre-spawned
+    from *seed* by index, so the bundle (values, injection ledger, dirty/ideal
+    indices, fitted limits) is bitwise identical on every backend and shard
+    layout; backends change only the wall clock.
 
     The dirty/ideal split uses raw-scale outlier limits (the split is a
     property of the data, not of the per-experiment analysis transform);
@@ -159,12 +199,17 @@ def build_population(
     """
     if scale not in SCALES:
         raise ExperimentError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
-    rng = as_generator(seed)
+    pipeline = Pipeline.coerce(backend, n_workers=n_workers, shard_size=shard_size)
+    # One stream per stage, spawned from the root seed; each stage re-spawns
+    # per-series child streams by index, keeping the build layout-invariant.
+    gen_seq, inject_seq = spawn_sequences(as_generator(seed), 2)
     gen_cfg = generator_config or SCALES[scale].generator
-    clean = NetworkDataGenerator(gen_cfg, seed=rng).generate()
-    injector = GlitchInjector(injection_config or GlitchInjectionConfig(), seed=rng)
-    injection = injector.inject(clean)
-    partition, suite = identify_ideal(injection.dataset)
+    clean = NetworkDataGenerator(gen_cfg, seed=gen_seq).generate(backend=pipeline)
+    injector = GlitchInjector(
+        injection_config or GlitchInjectionConfig(), seed=inject_seq
+    )
+    injection = injector.inject(clean, backend=pipeline)
+    partition, suite = identify_ideal(injection.dataset, backend=pipeline)
     return PopulationBundle(
         clean=clean,
         population=injection.dataset,

@@ -281,20 +281,23 @@ def run_table1(
     bundle: PopulationBundle,
     configs: Optional[dict[str, ExperimentConfig]] = None,
     backend=None,
+    base_config: Optional[ExperimentConfig] = None,
 ) -> dict[str, ExperimentResult]:
     """Run the five strategies under each named configuration.
 
     The paper's three blocks are ``n=100, log(attribute 1)``, ``n=500,
-    log(attribute 1)`` and ``n=100, no log``; the default configs reproduce
-    them at the bundle's scale. Render with
-    :func:`repro.experiments.report.render_table1`.
+    log(attribute 1)`` and ``n=100, no log``. When *configs* is ``None``
+    they are derived from *base_config* — pass it for a bundle built with a
+    custom generator or replication setup, otherwise the blocks are rebuilt
+    from the ``bundle.scale`` preset and any customisation would silently
+    revert. Render with :func:`repro.experiments.report.render_table1`.
     """
     if configs is None:
-        base = experiment_config(bundle.scale, log_transform=True)
+        base = base_config or experiment_config(bundle.scale, log_transform=True)
         configs = {
-            f"n={base.sample_size}, log(attr1)": base,
+            f"n={base.sample_size}, log(attr1)": base.variant(log_transform=True),
             f"n={5 * base.sample_size}, log(attr1)": base.variant(
-                sample_size=5 * base.sample_size
+                log_transform=True, sample_size=5 * base.sample_size
             ),
             f"n={base.sample_size}, no log": base.variant(log_transform=False),
         }

@@ -19,7 +19,7 @@ Two protocol details from the paper are encoded here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -32,10 +32,15 @@ from repro.glitches.outliers import SigmaLimits, SigmaOutlierDetector
 from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType, N_GLITCH_TYPES
 from repro.utils.validation import check_fraction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> cleaning -> glitches)
+    from repro.core.pipeline import Pipeline, ShardSpec
+
 __all__ = [
     "ScaleTransform",
     "DetectorSuite",
     "CleanlinessPartition",
+    "CleanlinessShard",
+    "cleanliness_shard",
     "partition_by_cleanliness",
     "identify_ideal",
 ]
@@ -188,23 +193,70 @@ class CleanlinessPartition:
         return len(self.ideal_indices) / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class CleanlinessShard:
+    """Picklable work unit: annotate and rate one contiguous series range.
+
+    Annotation has no randomness, so the shard carries no seed streams —
+    only the series slice, the (picklable) detector suite, and the < 5%
+    threshold.
+    """
+
+    suite: DetectorSuite
+    series: tuple[TimeSeries, ...]
+    max_fraction: float
+
+
+def cleanliness_shard(unit: CleanlinessShard) -> list[bool]:
+    """Per-series cleanliness verdicts for one :class:`CleanlinessShard`."""
+    verdicts = []
+    for series in unit.series:
+        matrix = unit.suite.annotate(series)
+        verdicts.append(
+            all(matrix.record_fraction(g) < unit.max_fraction for g in GlitchType)
+        )
+    return verdicts
+
+
 def partition_by_cleanliness(
     dataset: StreamDataset,
     suite: DetectorSuite,
     max_fraction: float = 0.05,
+    pipeline: "Optional[Pipeline]" = None,
 ) -> CleanlinessPartition:
     """Split *dataset* into dirty and ideal parts by the < 5% rule.
 
     A series is ideal when its record-level rate of **each** glitch type is
     below *max_fraction* (Section 4.1). Raises if either side ends up empty —
-    the experimental framework needs both.
+    the experimental framework needs both. When a *pipeline* is given, the
+    per-series annotate/rate pass fans out across its backend in shards; the
+    pass is deterministic, so the split is identical to the serial one.
     """
     max_fraction = check_fraction(max_fraction, "max_fraction")
+    if pipeline is None:
+        verdicts = cleanliness_shard(
+            CleanlinessShard(
+                suite=suite, series=tuple(dataset), max_fraction=max_fraction
+            )
+        )
+    else:
+        from repro.core.pipeline import ShardedStage
+
+        series = dataset.series
+        shards = pipeline.shards(len(series), with_seeds=False)
+        stage = ShardedStage(
+            "identify",
+            cleanliness_shard,
+            lambda s: CleanlinessShard(
+                suite=suite,
+                series=tuple(series[s.start : s.stop]),
+                max_fraction=max_fraction,
+            ),
+        )
+        verdicts = pipeline.run(stage, shards)
     dirty_idx: list[int] = []
     ideal_idx: list[int] = []
-    for i, series in enumerate(dataset):
-        matrix = suite.annotate(series)
-        clean = all(matrix.record_fraction(g) < max_fraction for g in GlitchType)
+    for i, clean in enumerate(verdicts):
         (ideal_idx if clean else dirty_idx).append(i)
     if not ideal_idx:
         raise ValidationError(
@@ -227,6 +279,8 @@ def identify_ideal(
     k: float = 3.0,
     max_fraction: float = 0.05,
     max_iter: int = 3,
+    backend=None,
+    shard_size: Optional[int] = None,
 ) -> tuple[CleanlinessPartition, DetectorSuite]:
     """Iterate the ideal-set / outlier-limit fixed point.
 
@@ -236,18 +290,31 @@ def identify_ideal(
     once the ideal membership is stable. Returns the final partition and the
     fitted :class:`DetectorSuite` (which downstream code reuses for glitch
     scoring).
+
+    The fixed-point loop and the detector fitting stay centralized, but each
+    round's per-series annotate/partition pass fans out over *backend* (a
+    name, an :class:`~repro.core.executor.ExecutionBackend`, or a
+    :class:`~repro.core.pipeline.Pipeline`). The pass is deterministic, so
+    every backend reaches the same fixed point.
     """
     if max_iter < 1:
         raise ValidationError("max_iter must be >= 1")
+    from repro.core.pipeline import Pipeline
+
+    pipeline = Pipeline.coerce(backend, shard_size=shard_size)
     bootstrap = DetectorSuite(constraints=constraints, outlier_detector=None)
-    partition = partition_by_cleanliness(dataset, bootstrap, max_fraction)
+    partition = partition_by_cleanliness(
+        dataset, bootstrap, max_fraction, pipeline=pipeline
+    )
     suite = bootstrap
     previous = set(partition.ideal_indices)
     for _ in range(max_iter):
         suite = DetectorSuite.from_ideal(
             partition.ideal, constraints=constraints, transform=transform, k=k
         )
-        partition = partition_by_cleanliness(dataset, suite, max_fraction)
+        partition = partition_by_cleanliness(
+            dataset, suite, max_fraction, pipeline=pipeline
+        )
         current = set(partition.ideal_indices)
         if current == previous:
             break

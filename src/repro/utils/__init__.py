@@ -1,6 +1,6 @@
 """Small shared utilities: validation helpers and RNG plumbing."""
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import as_generator, spawn_generators, spawn_sequences
 from repro.utils.validation import (
     check_fraction,
     check_positive_int,
@@ -12,6 +12,7 @@ from repro.utils.validation import (
 __all__ = [
     "as_generator",
     "spawn_generators",
+    "spawn_sequences",
     "check_fraction",
     "check_positive_int",
     "check_probability",

@@ -14,7 +14,7 @@ import numpy as np
 
 Seed = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["Seed", "as_generator", "spawn_generators"]
+__all__ = ["Seed", "as_generator", "spawn_sequences", "spawn_generators"]
 
 
 def as_generator(seed: Seed = None) -> np.random.Generator:
@@ -29,15 +29,27 @@ def as_generator(seed: Seed = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_sequences(seed: Seed, n: int) -> list[np.random.SeedSequence]:
+    """Spawn *n* statistically independent child seed sequences from *seed*.
+
+    Child ``i`` is a deterministic function of *seed* and ``i`` alone, never
+    of ``n`` or of how the children are later grouped — which is what lets
+    the sharded pipeline hand out per-item streams whose draws are identical
+    under any shard layout or execution backend. ``SeedSequence`` objects
+    pickle cheaply, so work units carry these rather than generators.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.bit_generator.seed_seq.spawn(n))  # type: ignore[union-attr]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return list(seq.spawn(n))
+
+
 def spawn_generators(seed: Seed, n: int) -> list[np.random.Generator]:
     """Spawn *n* statistically independent child generators from *seed*.
 
     Used by the replication framework: replication ``i`` always sees the same
     stream regardless of how many replications run or in what order.
     """
-    if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
-    if isinstance(seed, np.random.Generator):
-        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(n)]  # type: ignore[union-attr]
-    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return [np.random.default_rng(child) for child in spawn_sequences(seed, n)]

@@ -136,11 +136,69 @@ class TestPartition:
         )
 
 
+def _stable_mixed_dataset():
+    """Six quiet series plus two NaN-riddled ones: the round-0 split
+    (missing/inconsistent rates only) is already the fixed point, because the
+    fitted 3-sigma limits flag nothing new."""
+    quiet = [
+        [[10.0 + 0.1 * t * (k + 1) % 1.0, 2.0, 0.95] for t in range(20)]
+        for k in range(6)
+    ]
+    gappy = [
+        [[np.nan if t % 3 == 0 else 10.0, np.nan, 0.95] for t in range(20)]
+        for _ in range(2)
+    ]
+    return make_dataset(*(quiet + gappy))
+
+
 class TestIdentifyIdeal:
     def test_returns_fitted_suite(self, tiny_bundle):
         part, suite = identify_ideal(tiny_bundle.population)
         assert suite.outlier_detector is not None
         assert len(part.ideal) > 0
+
+    def test_max_iter_one_still_fits_limits(self):
+        """A single round must return a fitted suite and a usable split."""
+        data = _stable_mixed_dataset()
+        part, suite = identify_ideal(data, max_iter=1)
+        assert suite.outlier_detector is not None
+        assert sorted(part.ideal_indices + part.dirty_indices) == list(
+            range(len(data))
+        )
+
+    def test_all_clean_dataset_raises(self, tiny_bundle):
+        """An empty dirty side is an error: the framework needs both sides."""
+        with pytest.raises(ValidationError):
+            identify_ideal(tiny_bundle.clean)
+
+    def test_convergence_in_zero_rounds(self):
+        """When the bootstrap split is already the fixed point, extra rounds
+        change nothing — max_iter=1 and max_iter=5 agree exactly."""
+        data = _stable_mixed_dataset()
+        part1, suite1 = identify_ideal(data, max_iter=1)
+        part5, suite5 = identify_ideal(data, max_iter=5)
+        assert part1.ideal_indices == part5.ideal_indices
+        assert part1.dirty_indices == part5.dirty_indices
+        l1 = suite1.outlier_detector.limits
+        l5 = suite5.outlier_detector.limits
+        assert {a: l1.bounds(a) for a in l1.attributes} == {
+            a: l5.bounds(a) for a in l5.attributes
+        }
+
+    def test_backend_fan_out_matches_serial(self, tiny_bundle):
+        """The sharded annotate/partition pass is a pure fan-out: thread and
+        process backends reach the exact same fixed point."""
+        serial_part, serial_suite = identify_ideal(tiny_bundle.population)
+        for backend in ("thread:2", "process:2"):
+            part, suite = identify_ideal(
+                tiny_bundle.population, backend=backend, shard_size=9
+            )
+            assert part.ideal_indices == serial_part.ideal_indices
+            assert part.dirty_indices == serial_part.dirty_indices
+            ls, lp = serial_suite.outlier_detector.limits, suite.outlier_detector.limits
+            assert {a: ls.bounds(a) for a in ls.attributes} == {
+                a: lp.bounds(a) for a in lp.attributes
+            }
 
     def test_fixed_point_is_stable(self, tiny_bundle):
         part1, suite1 = identify_ideal(tiny_bundle.population, max_iter=3)

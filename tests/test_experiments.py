@@ -106,6 +106,13 @@ class TestBackendSelection:
         with pytest.raises(ExperimentError):
             backend_from_env(default="gpu")
 
+    def test_backend_from_env_normalises_default_too(self, monkeypatch):
+        # both resolution paths come back validated and lowercased
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_from_env(default=" Process:4 ") == "process:4"
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        assert backend_from_env(default="THREAD") == "thread"
+
     def test_experiment_config_carries_backend(self):
         cfg = experiment_config("tiny", backend="thread", n_workers=2)
         assert cfg.backend == "thread"
@@ -235,6 +242,23 @@ class TestFigure6And7:
         assert set(results) == set(configs)
         text = render_table1(results)
         assert "strategy5" in text and "n=8, no log" in text
+
+    def test_run_table1_honours_base_config(self, tiny_bundle, monkeypatch):
+        """A custom base config must drive the derived blocks instead of the
+        bundle-scale preset silently taking over."""
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        base = ExperimentConfig(
+            n_replications=1, sample_size=4, log_transform=True, seed=0
+        )
+        results = run_table1(tiny_bundle, base_config=base)
+        assert set(results) == {
+            "n=4, log(attr1)",
+            "n=20, log(attr1)",
+            "n=4, no log",
+        }
+        assert results["n=4, log(attr1)"].config.n_replications == 1
+        assert results["n=20, log(attr1)"].config.sample_size == 20
+        assert results["n=4, no log"].config.log_transform is False
 
     def test_table1_text_has_numeric_grid(self, tiny_bundle):
         configs = {

@@ -1,0 +1,179 @@
+"""Sharded pipeline: layout planning, stage execution, and the population
+build's cross-backend bitwise-determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
+from repro.core.pipeline import (
+    Pipeline,
+    ShardSpec,
+    ShardedStage,
+    build_shards,
+    plan_shards,
+)
+from repro.errors import ExperimentError
+from repro.experiments.config import build_population
+from repro.utils.rng import spawn_sequences
+
+
+class TestPlanShards:
+    def test_ranges_cover_and_partition(self):
+        bounds = plan_shards(100, shard_size=7)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        assert sum(hi - lo for lo, hi in bounds) == 100
+
+    def test_single_shard_when_size_exceeds_items(self):
+        assert plan_shards(5, shard_size=1000) == [(0, 5)]
+
+    def test_zero_items_empty_plan(self):
+        assert plan_shards(0) == []
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ExperimentError):
+            plan_shards(-1)
+
+    def test_env_var_pins_shard_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_SIZE", "10")
+        assert plan_shards(25) == [(0, 10), (10, 20), (20, 25)]
+
+    def test_env_var_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_SIZE", "many")
+        with pytest.raises(ExperimentError):
+            plan_shards(25)
+
+    def test_explicit_size_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_SIZE", "10")
+        assert plan_shards(25, shard_size=25) == [(0, 25)]
+
+
+class TestBuildShards:
+    def test_seeds_sliced_by_item_index(self):
+        shards = build_shards(10, seed=0, shard_size=3)
+        flat = [seq for s in shards for seq in s.seeds]
+        expected = spawn_sequences(0, 10)
+        assert [s.entropy for s in flat] == [e.entropy for e in expected]
+        assert [s.spawn_key for s in flat] == [e.spawn_key for e in expected]
+
+    def test_layout_never_changes_item_streams(self):
+        """The determinism keystone: item i's stream is layout-invariant."""
+        coarse = build_shards(12, seed=42, shard_size=12)
+        fine = build_shards(12, seed=42, shard_size=5)
+        flat_coarse = [seq for s in coarse for seq in s.seeds]
+        flat_fine = [seq for s in fine for seq in s.seeds]
+        draws_coarse = [np.random.default_rng(s).random() for s in flat_coarse]
+        draws_fine = [np.random.default_rng(s).random() for s in flat_fine]
+        assert draws_coarse == draws_fine
+
+    def test_seedless_shards(self):
+        shards = build_shards(7, shard_size=4, with_seeds=False)
+        assert all(s.seeds == () for s in shards)
+
+    def test_randomized_shards_require_explicit_seed(self):
+        """seed=None must raise, not silently spawn OS-entropy streams."""
+        with pytest.raises(ExperimentError):
+            build_shards(7, shard_size=4)
+        # explicit entropy is still available by passing a generator
+        assert build_shards(3, seed=np.random.default_rng(), shard_size=2)
+
+    def test_spec_validates_seed_count(self):
+        with pytest.raises(ExperimentError):
+            ShardSpec(index=0, start=0, stop=3, seeds=tuple(spawn_sequences(0, 2)))
+
+    def test_spec_validates_range(self):
+        with pytest.raises(ExperimentError):
+            ShardSpec(index=0, start=4, stop=2)
+
+
+def _double_shard(unit):
+    """Module-level work function (picklable for the process backend)."""
+    spec, items = unit
+    return [2 * x for x in items]
+
+
+def _short_shard(unit):
+    spec, items = unit
+    return [0]  # always one result, wrong for shards with more items
+
+
+class TestPipelineRun:
+    def _stage(self, fn, data):
+        return ShardedStage("demo", fn, lambda s: (s, data[s.start : s.stop]))
+
+    @pytest.mark.parametrize(
+        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+    )
+    def test_results_flatten_in_item_order(self, backend):
+        data = list(range(23))
+        pipeline = Pipeline(backend, shard_size=5)
+        shards = pipeline.shards(len(data), with_seeds=False)
+        result = pipeline.run(self._stage(_double_shard, data), shards)
+        assert result == [2 * x for x in data]
+
+    def test_wrong_result_count_raises(self):
+        data = list(range(10))
+        pipeline = Pipeline(SerialBackend(), shard_size=4)
+        shards = pipeline.shards(len(data), with_seeds=False)
+        with pytest.raises(ExperimentError):
+            pipeline.run(self._stage(_short_shard, data), shards)
+
+    def test_pipeline_resolves_backend_names(self):
+        assert Pipeline("thread:2").backend.name == "thread"
+        assert Pipeline(None).backend.name == "serial"
+
+    def test_coerce_reuses_or_rewraps_pipelines(self):
+        pipe = Pipeline("thread:2", shard_size=8)
+        assert Pipeline.coerce(pipe) is pipe
+        assert Pipeline.coerce(pipe, shard_size=8) is pipe
+        # an explicit disagreeing shard_size is honoured, not dropped
+        rewrapped = Pipeline.coerce(pipe, shard_size=3)
+        assert rewrapped.shard_size == 3
+        assert rewrapped.backend is pipe.backend
+        assert Pipeline.coerce("serial").backend.name == "serial"
+
+    def test_coerce_rejects_n_workers_on_existing_pipeline(self):
+        # the backend is already resolved; a worker count cannot apply
+        with pytest.raises(ExperimentError):
+            Pipeline.coerce(Pipeline("serial"), n_workers=4)
+
+    def test_stage_requires_callables(self):
+        with pytest.raises(ExperimentError):
+            ShardedStage("bad", None, lambda s: s)
+
+
+class TestPopulationDeterminism:
+    """`build_population` is bitwise identical across backends and layouts.
+
+    `PopulationBundle.fingerprint` pins everything the acceptance criterion
+    names: values, injection ledger, dirty/ideal indices, fitted limits.
+    """
+
+    def test_serial_thread_process_identical(self):
+        serial = build_population(scale="tiny", seed=3, backend=SerialBackend())
+        thread = build_population(
+            scale="tiny", seed=3, backend=ThreadBackend(3), shard_size=7
+        )
+        process = build_population(
+            scale="tiny", seed=3, backend=ProcessBackend(2), shard_size=13
+        )
+        reference = serial.fingerprint()
+        assert thread.fingerprint() == reference
+        assert process.fingerprint() == reference
+
+    def test_shard_layout_invariance(self):
+        one_shard = build_population(scale="tiny", seed=5, shard_size=10_000)
+        many_shards = build_population(scale="tiny", seed=5, shard_size=3)
+        assert one_shard.fingerprint() == many_shards.fingerprint()
+
+    def test_backend_spec_string_accepted(self):
+        spec = build_population(scale="tiny", seed=3, backend="thread:2")
+        plain = build_population(scale="tiny", seed=3)
+        assert spec.fingerprint() == plain.fingerprint()
+
+    def test_seed_changes_population(self):
+        a = build_population(scale="tiny", seed=0)
+        b = build_population(scale="tiny", seed=1)
+        assert a.fingerprint() != b.fingerprint()

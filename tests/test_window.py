@@ -1,12 +1,18 @@
-"""Windowed history F_t^w semantics."""
+"""Windowed history F_t^w semantics and sharded streaming ingestion."""
 
 import numpy as np
 import pytest
 
-from repro.data.window import WindowHistory
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
+from repro.data.window import WindowHistory, WindowShard, ingest_window_shard
 from repro.errors import ValidationError
 
 from helpers import make_series
+
+
+def _window_stat(t, history):
+    """Module-level consumer (picklable for the process backend)."""
+    return (t, history.shape[0], float(history[:, 0].sum()))
 
 
 @pytest.fixture()
@@ -52,3 +58,57 @@ class TestWindowHistory:
     def test_window_must_be_positive(self, series):
         with pytest.raises(ValidationError):
             WindowHistory(series, window=0)
+
+
+class TestShardedIngestion:
+    def test_iter_windows_bounded_chunk(self, series):
+        w = WindowHistory(series, window=3)
+        items = list(w.iter_windows(start=4, stop=7))
+        assert [t for t, _ in items] == [4, 5, 6]
+        # A chunk boundary never truncates the history window.
+        assert items[0][1][:, 0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_iter_windows_rejects_bad_range(self, series):
+        w = WindowHistory(series, window=3)
+        with pytest.raises(ValidationError):
+            list(w.iter_windows(start=5, stop=3))
+        with pytest.raises(ValidationError):
+            list(w.iter_windows(start=0, stop=99))
+
+    def test_chunks_concatenate_to_full_iteration(self, series):
+        w = WindowHistory(series, window=4)
+        full = [(t, h.copy()) for t, h in w.iter_windows()]
+        chunked = []
+        for start, stop in w.shard_bounds(shard_size=3):
+            chunked.extend((t, h.copy()) for t, h in w.iter_windows(start, stop))
+        assert [t for t, _ in chunked] == [t for t, _ in full]
+        for (_, a), (_, b) in zip(chunked, full):
+            assert np.array_equal(a, b)
+
+    def test_shard_bounds_cover_time_axis(self, series):
+        bounds = WindowHistory(series, window=2).shard_bounds(shard_size=4)
+        assert bounds == [(0, 4), (4, 8), (8, 10)]
+
+    def test_window_shard_carries_only_overlap(self, series):
+        w = WindowHistory(series, window=3)
+        [unit] = [
+            WindowShard(
+                fn=_window_stat,
+                values=series.values[max(0, 4 - 3) : 8],
+                window=3,
+                start=4,
+                stop=8,
+                lo=1,
+            )
+        ]
+        out = ingest_window_shard(unit)
+        expected = [_window_stat(t, w.history(t)) for t in range(4, 8)]
+        assert out == expected
+
+    @pytest.mark.parametrize(
+        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+    )
+    def test_map_windows_matches_serial_iteration(self, series, backend):
+        w = WindowHistory(series, window=3)
+        expected = [_window_stat(t, h) for t, h in w.iter_windows()]
+        assert w.map_windows(_window_stat, backend=backend, shard_size=4) == expected
