@@ -19,7 +19,7 @@ from repro.cleaning.registry import paper_strategies
 from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
 from repro.core.framework import ExperimentRunner
 
-from bench_utils import print_speedup_table, run_once
+from bench_utils import print_speedup_table, record_bench, run_once
 
 #: Worker count the acceptance experiment pins (capped by available CPUs
 #: inside the backends' ``map``).
@@ -62,8 +62,18 @@ def test_parallel_speedup(benchmark, bundle, config):
     # The determinism contract: every backend replays the exact same
     # floating-point computation — not approximately, identically.
     serial_keys = [_outcome_key(o) for o in serial_result.outcomes]
-    assert [_outcome_key(o) for o in thread_result.outcomes] == serial_keys
-    assert [_outcome_key(o) for o in process_result.outcomes] == serial_keys
+    identity_ok = (
+        [_outcome_key(o) for o in thread_result.outcomes] == serial_keys
+        and [_outcome_key(o) for o in process_result.outcomes] == serial_keys
+    )
+    record_bench(
+        "bench_parallel",
+        wall_s=process_s,
+        speedup=serial_s / process_s,
+        identity_ok=identity_ok,
+        serial_wall_s=round(serial_s, 4),
+    )
+    assert identity_ok
 
     print_speedup_table(
         f"Figure 6 run: R={config.n_replications}, B={config.sample_size}, "

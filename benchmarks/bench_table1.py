@@ -17,7 +17,7 @@ Expected shape (paper vs this harness):
 from repro.experiments.paper import run_table1
 from repro.experiments.report import render_table1
 
-from bench_utils import run_once
+from bench_utils import record_bench, run_once
 
 
 def test_table1(benchmark, bundle, config):
@@ -32,5 +32,6 @@ def test_table1(benchmark, bundle, config):
         return run_table1(bundle, configs)
 
     results = run_once(benchmark, run)
+    record_bench("bench_table1", wall_s=benchmark.stats.stats.total)
     print()
     print(render_table1(results))

@@ -4,13 +4,67 @@ Kept out of ``conftest.py`` so benchmark modules never import the ambiguous
 module name ``conftest`` (with both ``tests/`` and ``benchmarks/`` on
 ``sys.path`` in a whole-repo pytest run, that name resolves to whichever
 directory was collected first).
+
+Every bench records its headline numbers into ``BENCH_PR3.json`` (override
+the location with ``REPRO_BENCH_JSON``) as ``name -> {wall_s, speedup,
+identity_ok}`` so the perf trajectory is machine-readable across PRs; the CI
+bench smoke prints and uploads the file on every push.
 """
 
 from __future__ import annotations
 
-from repro.core.executor import default_worker_count
+import json
+import os
+from pathlib import Path
+from typing import Optional
 
-__all__ = ["run_once", "print_speedup_table"]
+from repro.core.executor import default_worker_count
+from repro.experiments.config import scale_from_env
+
+__all__ = [
+    "bench_results_path",
+    "record_bench",
+    "run_once",
+    "print_speedup_table",
+]
+
+
+def bench_results_path() -> Path:
+    """Where bench results accumulate (``REPRO_BENCH_JSON`` overrides)."""
+    return Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_PR3.json"))
+
+
+def record_bench(
+    name: str,
+    wall_s: float,
+    speedup: Optional[float] = None,
+    identity_ok: Optional[bool] = None,
+    **extra,
+) -> dict:
+    """Merge one bench's result into the shared results JSON.
+
+    ``speedup`` is the bench's own headline ratio (block vs per-series loop
+    for the throughput smoke, serial vs process for the parallel bench);
+    ``identity_ok`` records whether the bench's bitwise-identity assertion
+    held. Read-modify-write keeps results from every bench module of one
+    ``pytest benchmarks/`` run in a single file.
+    """
+    path = bench_results_path()
+    results: dict = {}
+    if path.exists():
+        try:
+            results = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt file
+            results = {}
+    entry = {"wall_s": round(float(wall_s), 4), "scale": scale_from_env(default="small")}
+    if speedup is not None:
+        entry["speedup"] = round(float(speedup), 3)
+    if identity_ok is not None:
+        entry["identity_ok"] = bool(identity_ok)
+    entry.update(extra)
+    results[name] = entry
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return entry
 
 
 def run_once(benchmark, fn):

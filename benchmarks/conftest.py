@@ -11,9 +11,25 @@ Every bench prints the table/series it regenerates, so
 
 from __future__ import annotations
 
+import contextlib
+
 import pytest
 
 from repro.experiments.config import build_population, experiment_config, scale_from_env
+
+from bench_utils import bench_results_path
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_bench_results():
+    """Start every bench session from an empty results file.
+
+    ``record_bench`` merges entries so all bench modules of one run share
+    one file; truncating here keeps stale entries from previous runs (or
+    differently-scaled runs) from leaking into the recorded snapshot.
+    """
+    with contextlib.suppress(OSError):
+        bench_results_path().unlink()
 
 
 @pytest.fixture(scope="session")

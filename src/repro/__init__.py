@@ -78,6 +78,7 @@ from repro.data import (
     NetworkDataGenerator,
     NetworkTopology,
     NodeId,
+    SampleBlock,
     StreamDataset,
     TimeSeries,
 )
@@ -130,6 +131,7 @@ __all__ = [
     "NetworkTopology",
     "TimeSeries",
     "StreamDataset",
+    "SampleBlock",
     "GeneratorConfig",
     "NetworkDataGenerator",
     "GlitchInjectionConfig",

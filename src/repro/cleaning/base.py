@@ -24,10 +24,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Optional
+from typing import Callable, Optional, TypeVar
 
 import numpy as np
 
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 from repro.errors import CleaningError
@@ -35,6 +36,8 @@ from repro.glitches.constraints import ConstraintSet, paper_constraints
 from repro.glitches.detectors import ScaleTransform
 from repro.glitches.outliers import SigmaLimits
 from repro.utils.rng import Seed, as_generator
+
+_T = TypeVar("_T")
 
 __all__ = [
     "CleaningContext",
@@ -64,6 +67,11 @@ class CleaningContext:
         Width of the sigma limits (3.0 in the paper).
     seed:
         Seed/generator for stochastic treatments (MVN imputation draws).
+    ideal_block:
+        Optional columnar layout of the same ideal sample. When present, the
+        derived statistics (sigma limits, replacement means) are computed
+        from the block columns — the identical pooled values, so the numbers
+        match the per-series computation bit for bit.
     """
 
     ideal: StreamDataset
@@ -71,11 +79,43 @@ class CleaningContext:
     constraints: ConstraintSet = field(default_factory=paper_constraints)
     sigma_k: float = 3.0
     seed: Seed = None
+    ideal_block: Optional[SampleBlock] = None
 
     def __post_init__(self) -> None:
         self.rng = as_generator(self.seed)
+        # Per-replication memo for deterministic derived products (e.g. the
+        # MVN EM fit, which Strategies 1 and 2 would otherwise each recompute
+        # from the identical pooled sample). Caching a pure function of its
+        # key cannot change any number — it only skips a bitwise-identical
+        # recomputation — so both the per-series and block paths share it.
+        self._memo: dict = {}
 
     # -- derived, lazily computed ----------------------------------------------
+
+    def _ideal_columns(self, analysis_scale: bool) -> dict[str, np.ndarray]:
+        """NaN-free pooled columns of the ideal sample, per attribute.
+
+        Reads the block columns when the columnar layout is available, the
+        per-series concatenation otherwise — identical values either way
+        (series-major, time-minor pooling order).
+        """
+        if self.ideal_block is not None:
+            attributes = self.ideal_block.attributes
+            values = self.ideal_block.values
+            if analysis_scale and self.transform is not None:
+                values = self.transform.forward_values(values, attributes)
+            out = {}
+            for j, attr in enumerate(attributes):
+                col = values[..., j].reshape(-1)
+                out[attr] = col[~np.isnan(col)]
+            return out
+        dataset = self.ideal
+        if analysis_scale and self.transform is not None:
+            dataset = self.transform.apply_dataset(dataset)
+        return {
+            attr: dataset.pooled_column(attr, dropna=True)
+            for attr in dataset.attributes
+        }
 
     @cached_property
     def limits(self) -> SigmaLimits:
@@ -84,17 +124,21 @@ class CleaningContext:
         The sampling variability of these limits across replications is real
         and intended — the paper points to it in Figure 4.
         """
-        scaled = (
-            self.transform.apply_dataset(self.ideal) if self.transform else self.ideal
+        from repro.stats.descriptive import sigma_limits
+
+        return SigmaLimits(
+            {
+                attr: sigma_limits(col, k=self.sigma_k)
+                for attr, col in self._ideal_columns(analysis_scale=True).items()
+            }
         )
-        return SigmaLimits.from_dataset(scaled, k=self.sigma_k)
 
     @cached_property
     def ideal_means(self) -> dict[str, float]:
         """Raw-scale attribute means of the ideal sample."""
         return {
-            attr: float(np.mean(self.ideal.pooled_column(attr, dropna=True)))
-            for attr in self.ideal.attributes
+            attr: float(np.mean(col))
+            for attr, col in self._ideal_columns(analysis_scale=False).items()
         }
 
     @cached_property
@@ -107,12 +151,9 @@ class CleaningContext:
         of ``log(attr1)`` (i.e. the geometric mean on the raw scale), which
         keeps the replacement spike at the centre of the analysed bulk.
         """
-        scaled = (
-            self.transform.apply_dataset(self.ideal) if self.transform else self.ideal
-        )
         return {
-            attr: float(np.mean(scaled.pooled_column(attr, dropna=True)))
-            for attr in scaled.attributes
+            attr: float(np.mean(col))
+            for attr, col in self._ideal_columns(analysis_scale=True).items()
         }
 
     # -- masks -------------------------------------------------------------------
@@ -125,17 +166,41 @@ class CleaningContext:
         """
         return np.isnan(series.values) | self.constraints.evaluate(series)
 
+    def treatable_mask_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        """Treatable-cell mask for a ``(..., v)`` value array.
+
+        One vectorised pass over a whole sample-block tensor, cell-for-cell
+        identical to calling :meth:`treatable_mask` per series.
+        """
+        return np.isnan(values) | self.constraints.evaluate_values(values, attributes)
+
     def to_analysis(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
-        """Raw ``(T, v)`` values -> analysis scale (identity without transform)."""
+        """Raw ``(..., v)`` values -> analysis scale (identity without transform)."""
         if self.transform is None:
             return np.asarray(values, dtype=float).copy()
         return self.transform.forward_values(values, attributes)
 
     def from_analysis(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
-        """Analysis-scale ``(T, v)`` values -> raw scale."""
+        """Analysis-scale ``(..., v)`` values -> raw scale."""
         if self.transform is None:
             return np.asarray(values, dtype=float).copy()
         return self.transform.inverse_values(values, attributes)
+
+    def memo(self, key, compute: Callable[[], _T]) -> _T:
+        """Cache *compute()* under *key* for the lifetime of this context.
+
+        For deterministic derived products only: the cached value must be a
+        pure function of the key, so a hit returns exactly what recomputation
+        would.
+        """
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = compute()
+            self._memo[key] = value
+            return value
 
 
 class CleaningStrategy(ABC):
@@ -144,9 +209,37 @@ class CleaningStrategy(ABC):
     #: Identifier used in results and reports.
     name: str = "strategy"
 
+    @property
+    def cost_fraction(self) -> float:
+        """Fraction of the sample this strategy's cost model treats.
+
+        The cost proxy of Section 5.2 (proportion of series cleaned):
+        ``1.0`` for a full-sample strategy; cost-limited wrappers such as
+        :class:`~repro.cleaning.partial.PartialCleaner` override it with
+        their configured fraction. The experiment framework reads this
+        property — not an ad-hoc duck-typed attribute — when stamping
+        ``StrategyOutcome.cost_fraction``.
+        """
+        return 1.0
+
     @abstractmethod
     def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         """Return the treated copy of *sample*. The input is never mutated."""
+
+    def clean_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> Optional[SampleBlock]:
+        """Columnar fast path: treat a whole sample block in one pass.
+
+        Returns the treated block, or ``None`` when this strategy has no
+        block implementation — callers then fall back to :meth:`clean` on a
+        materialised data set. **Contract:** a block implementation must be
+        bitwise-identical to :meth:`clean` under the same context (including
+        consuming ``context.rng`` in exactly the per-series order), and a
+        ``None`` must be returned *before* any random draw so the fallback
+        replays the stream from the same point.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -161,9 +254,21 @@ class MissingInconsistentTreatment(ABC):
 
     name: str = "mi_treatment"
 
+    #: True when :meth:`apply_block` is implemented (checked *before* any
+    #: work so a composite never half-runs on the block path).
+    supports_block: bool = False
+
     @abstractmethod
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         """Return a copy of *sample* with treatable cells filled."""
+
+    def apply_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> SampleBlock:
+        """Block-level :meth:`apply`; only called when ``supports_block``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no block implementation"
+        )
 
 
 class OutlierTreatment(ABC):
@@ -171,9 +276,20 @@ class OutlierTreatment(ABC):
 
     name: str = "outlier_treatment"
 
+    #: True when :meth:`apply_block` is implemented.
+    supports_block: bool = False
+
     @abstractmethod
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         """Return a copy of *sample* with outlier cells repaired."""
+
+    def apply_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> SampleBlock:
+        """Block-level :meth:`apply`; only called when ``supports_block``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no block implementation"
+        )
 
 
 class CompositeStrategy(CleaningStrategy):
@@ -217,6 +333,25 @@ class CompositeStrategy(CleaningStrategy):
             treated = sample.copy()
         return treated
 
+    def clean_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> Optional[SampleBlock]:
+        # Capability is checked up front: the block path either runs both
+        # components or neither, so a fallback never replays half-consumed
+        # random streams.
+        if self.mi_treatment is not None and not self.mi_treatment.supports_block:
+            return None
+        if self.outlier_treatment is not None and not self.outlier_treatment.supports_block:
+            return None
+        treated = block
+        if self.mi_treatment is not None:
+            treated = self.mi_treatment.apply_block(treated, context)
+        if self.outlier_treatment is not None:
+            treated = self.outlier_treatment.apply_block(treated, context)
+        if treated is block:  # pragma: no cover - components always copy
+            treated = block.copy()
+        return treated
+
     def describe(self) -> str:
         """Human-readable composition summary."""
         mi = self.mi_treatment.name if self.mi_treatment else "ignore"
@@ -231,3 +366,8 @@ class IdentityStrategy(CleaningStrategy):
 
     def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         return sample.copy()
+
+    def clean_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> Optional[SampleBlock]:
+        return block.copy()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cleaning.base import CleaningContext, MissingInconsistentTreatment
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 
@@ -38,6 +39,24 @@ class InterpolationImputation(MissingInconsistentTreatment):
     """Fill treatable cells by per-attribute linear interpolation in time."""
 
     name = "interpolation"
+    supports_block = True
+
+    @staticmethod
+    def _treat_values(
+        values: np.ndarray,
+        mask: np.ndarray,
+        attributes: tuple[str, ...],
+        means: dict[str, float],
+    ) -> None:
+        """Interpolate one series' ``(T, v)`` values in place."""
+        for j, attr in enumerate(attributes):
+            gaps = mask[:, j]
+            if not gaps.any():
+                continue
+            col = _interpolate_column(values[:, j], gaps)
+            still_bad = gaps & ~np.isfinite(col)
+            col[still_bad] = means[attr]
+            values[:, j] = col
 
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         means = context.ideal_means
@@ -48,14 +67,21 @@ class InterpolationImputation(MissingInconsistentTreatment):
             if not mask.any():
                 return series.copy()
             values = series.values.copy()
-            for j, attr in enumerate(attributes):
-                gaps = mask[:, j]
-                if not gaps.any():
-                    continue
-                col = _interpolate_column(values[:, j], gaps)
-                still_bad = gaps & ~np.isfinite(col)
-                col[still_bad] = means[attr]
-                values[:, j] = col
+            self._treat_values(values, mask, attributes, means)
             return series.with_values(values)
 
         return sample.map(treat)
+
+    def apply_block(self, block: SampleBlock, context: CleaningContext) -> SampleBlock:
+        """Block path: the masks come from one vectorised pass; the 1-D
+        interpolation itself stays per series (``np.interp`` along each
+        series' own time axis is inherently sequential) but runs on block
+        rows without any object churn."""
+        means = context.ideal_means
+        attributes = block.attributes
+        mask = context.treatable_mask_values(block.values, attributes)
+        values = block.values.copy()
+        for i in range(block.n_series):
+            if mask[i].any():
+                self._treat_values(values[i], mask[i], attributes, means)
+        return block.with_values(values)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cleaning.base import CleaningContext, MissingInconsistentTreatment
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 from repro.errors import CleaningError
@@ -51,11 +52,39 @@ class MvnEmEstimate:
 
 
 def _pattern_groups(mask: np.ndarray) -> dict[bytes, np.ndarray]:
-    """Group row indices by missing pattern (key = packed boolean bytes)."""
-    groups: dict[bytes, list[int]] = {}
-    for i, row in enumerate(mask):
-        groups.setdefault(row.tobytes(), []).append(i)
-    return {k: np.asarray(v) for k, v in groups.items()}
+    """Group row indices by missing pattern (key = packed boolean bytes).
+
+    Groups appear in first-occurrence order with ascending row indices —
+    the iteration order both EM accumulation and the conditional draws rely
+    on — but the grouping itself is a vectorised sort instead of a Python
+    row loop (the old implementation's hottest line at block scale).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    n, d = mask.shape
+    if n == 0:
+        return {}
+    if d > 62:  # pragma: no cover - bit-packing would overflow; row-loop fallback
+        groups: dict[bytes, list[int]] = {}
+        for i, row in enumerate(mask):
+            groups.setdefault(row.tobytes(), []).append(i)
+        return {k: np.asarray(v) for k, v in groups.items()}
+    bit_weights = np.int64(1) << np.arange(d, dtype=np.int64)
+    codes = mask.astype(np.int64) @ bit_weights
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+    stops = np.r_[starts[1:], n]
+    # Stable sort keeps each group's indices ascending; reorder the groups
+    # themselves by their first (smallest) index to match insertion order.
+    chunks = sorted(
+        (int(order[start]), int(sorted_codes[start]), order[start:stop])
+        for start, stop in zip(starts, stops)
+    )
+    out: dict[bytes, np.ndarray] = {}
+    for _, code, idx in chunks:
+        pattern = ((code >> np.arange(d, dtype=np.int64)) & 1).astype(bool)
+        out[pattern.tobytes()] = idx
+    return out
 
 
 def fit_mvn_em(
@@ -92,38 +121,89 @@ def fit_mvn_em(
     var = np.where(var > 0, var, 1.0)
     cov = np.diag(var)
 
-    groups = _pattern_groups(miss)
+    # Pattern bookkeeping is iteration-invariant, so it is hoisted out of
+    # the EM loop: the complete rows' moment contributions are constants,
+    # and the incomplete rows are packed into ONE contiguous matrix whose
+    # per-group row ranges and index vectors are precomputed. Each E-step
+    # then fills that matrix group by group (a handful of tiny solves) and
+    # takes its moments with a single BLAS product instead of per-group
+    # Python-dispatched reductions.
+    complete_sum = np.zeros(d)
+    complete_xx = np.zeros((d, d))
+    partial_groups = []
+    partial_rows: list[np.ndarray] = []
+    start = 0
+    for key, idx in _pattern_groups(miss).items():
+        pattern = np.frombuffer(key, dtype=bool)
+        rows = x[idx]
+        if not pattern.any():
+            complete_sum = rows.sum(axis=0)
+            complete_xx = rows.T @ rows
+            continue
+        miss_ix = np.flatnonzero(pattern)
+        obs_ix = np.flatnonzero(~pattern)
+        stop = start + len(idx)
+        partial_groups.append(
+            (slice(start, stop), rows[:, obs_ix], miss_ix, obs_ix, len(idx))
+        )
+        partial_rows.append(rows)
+        start = stop
+    filled = (
+        np.concatenate(partial_rows, axis=0) if partial_rows else np.empty((0, d))
+    )
+    # Groups whose (observed, missing) shapes match share one stacked solve
+    # per iteration — LAPACK runs per slice, so a handful of 2x2 systems
+    # become a single gufunc call instead of one Python round-trip each.
+    # Index grids into ``reg`` are iteration-invariant and precomputed.
+    solve_classes: dict[tuple[int, int], dict] = {}
+    for gi, (_, _, miss_ix, obs_ix, _) in enumerate(partial_groups):
+        if obs_ix.size == 0:  # pragma: no cover - fully missing rows were dropped
+            continue
+        cls = solve_classes.setdefault(
+            (obs_ix.size, miss_ix.size),
+            {"members": [], "oo": [], "mo": [], "mm": []},
+        )
+        cls["members"].append(gi)
+        cls["oo"].append((obs_ix[:, None], obs_ix[None, :]))
+        cls["mo"].append((miss_ix[:, None], obs_ix[None, :]))
+        cls["mm"].append((miss_ix[:, None], miss_ix[None, :]))
+    class_grids = []
+    for cls in solve_classes.values():
+        grids = {
+            side: (
+                np.stack([np.broadcast_arrays(r, c)[0] for r, c in cls[side]]),
+                np.stack([np.broadcast_arrays(r, c)[1] for r, c in cls[side]]),
+            )
+            for side in ("oo", "mo", "mm")
+        }
+        class_grids.append((cls["members"], grids))
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
-        sum_x = np.zeros(d)
-        sum_xx = np.zeros((d, d))
+        sum_xx = complete_xx.copy()
         reg = cov + ridge * max(np.trace(cov) / d, 1e-12) * np.eye(d)
-        for key, idx in groups.items():
-            pattern = np.frombuffer(key, dtype=bool)
-            rows = x[idx]
-            if not pattern.any():
-                sum_x += rows.sum(axis=0)
-                sum_xx += rows.T @ rows
-                continue
-            obs = ~pattern
-            filled = rows.copy()
-            if obs.any():
-                s_oo = reg[np.ix_(obs, obs)]
-                s_mo = reg[np.ix_(pattern, obs)]
-                gain = np.linalg.solve(s_oo, s_mo.T).T
-                resid = rows[:, obs] - mean[obs]
-                filled[:, pattern] = mean[pattern] + resid @ gain.T
-                cond_cov = reg[np.ix_(pattern, pattern)] - gain @ s_mo.T
+        gains: dict[int, np.ndarray] = {}
+        conds: dict[int, np.ndarray] = {}
+        for members, grids in class_grids:
+            s_oo = reg[grids["oo"][0], grids["oo"][1]]
+            s_mo = reg[grids["mo"][0], grids["mo"][1]]
+            gain = np.linalg.solve(s_oo, s_mo.transpose(0, 2, 1)).transpose(0, 2, 1)
+            cond = reg[grids["mm"][0], grids["mm"][1]] - gain @ s_mo.transpose(0, 2, 1)
+            for k, gi in enumerate(members):
+                gains[gi] = gain[k]
+                conds[gi] = cond[k]
+        for gi, (rng, rows_obs, miss_ix, obs_ix, count) in enumerate(partial_groups):
+            if obs_ix.size:
+                resid = rows_obs - mean[obs_ix]
+                filled[rng, miss_ix] = mean[miss_ix] + resid @ gains[gi].T
+                cond_cov = conds[gi]
             else:  # pragma: no cover - fully missing rows were dropped
-                filled[:, pattern] = mean[pattern]
-                cond_cov = reg[np.ix_(pattern, pattern)]
-            sum_x += filled.sum(axis=0)
-            sum_xx += filled.T @ filled
+                filled[rng, miss_ix] = mean[miss_ix]
+                cond_cov = reg[miss_ix[:, None], miss_ix[None, :]]
             # Conditional covariance of the missing block enters E[x x'].
-            block = np.zeros((d, d))
-            block[np.ix_(pattern, pattern)] = cond_cov * len(idx)
-            sum_xx += block
+            sum_xx[miss_ix[:, None], miss_ix[None, :]] += cond_cov * count
+        sum_x = complete_sum + filled.sum(axis=0)
+        sum_xx += filled.T @ filled
         new_mean = sum_x / n
         new_cov = sum_xx / n - np.outer(new_mean, new_mean)
         new_cov = 0.5 * (new_cov + new_cov.T)
@@ -147,7 +227,9 @@ def draw_conditional(
     """Impute NaNs in *data* by draws from ``x_miss | x_obs`` under *estimate*.
 
     Fully missing rows are drawn from the marginal normal. Returns a new
-    array; observed entries are untouched.
+    array; observed entries are untouched. Callers pass the pooled sample
+    (all series stacked), so each missing pattern costs exactly one
+    conditional-normal solve and one batched noise draw.
     """
     x = np.asarray(data, dtype=float).copy()
     if x.ndim != 2 or x.shape[1] != estimate.dim:
@@ -164,14 +246,16 @@ def draw_conditional(
             continue
         obs = ~pattern
         k = int(pattern.sum())
+        miss_ix = np.flatnonzero(pattern)
+        obs_ix = np.flatnonzero(obs)
         if obs.any():
             s_oo = cov[np.ix_(obs, obs)]
             s_mo = cov[np.ix_(pattern, obs)]
             gain = np.linalg.solve(s_oo, s_mo.T).T
-            cond_mean = mean[pattern] + (x[np.ix_(idx, np.flatnonzero(obs))] - mean[obs]) @ gain.T
+            cond_mean = mean[miss_ix] + (x[np.ix_(idx, obs_ix)] - mean[obs_ix]) @ gain.T
             cond_cov = cov[np.ix_(pattern, pattern)] - gain @ s_mo.T
         else:
-            cond_mean = np.tile(mean[pattern], (idx.size, 1))
+            cond_mean = np.tile(mean[miss_ix], (idx.size, 1))
             cond_cov = cov[np.ix_(pattern, pattern)]
         cond_cov = 0.5 * (cond_cov + cond_cov.T) + jitter * np.eye(k)
         try:
@@ -183,7 +267,7 @@ def draw_conditional(
             chol = v @ np.diag(np.sqrt(np.clip(w, 0.0, None)))
         noise = rng.standard_normal((idx.size, k)) @ chol.T
         draws = cond_mean + noise
-        x[np.ix_(idx, np.flatnonzero(pattern))] = draws
+        x[np.ix_(idx, miss_ix)] = draws
     return x
 
 
@@ -197,17 +281,45 @@ class MvnImputation(MissingInconsistentTreatment):
     2. move to the analysis scale (log-attr1 when the transform is active —
        this is the difference between Figure 4a and 4b);
     3. pool every row of every series, fit the MVN by EM;
-    4. impute each series' NaNs with conditional draws and map the imputed
-       cells back to the raw scale.
+    4. impute the pooled matrix's NaNs with **pattern-grouped batched
+       conditional draws** — one conditional-normal solve and one batched
+       noise draw per missing pattern over the whole pooled sample (exactly
+       how ``PROC MI`` treats the stacked input) — and map each series'
+       imputed cells back to the raw scale.
+
+    Because the draws run on the pooled matrix, the per-series and
+    block layouts consume the random stream identically by construction:
+    both hand :func:`draw_conditional` the same pooled rows in the same
+    order.
     """
 
     name = "mvn_imputation"
+    supports_block = True
 
-    def __init__(self, max_iter: int = 100, tol: float = 1e-6):
+    #: Default EM convergence criterion. SAS ``PROC MI`` — the reference
+    #: implementation the paper's strategies ran — stops its EM at a maximum
+    #: parameter change of 1e-4 (the ``CONVERGE=`` default); matching it
+    #: keeps the fit faithful and roughly halves the iteration count
+    #: relative to the stricter 1e-6.
+    DEFAULT_TOL = 1e-4
+
+    def __init__(self, max_iter: int = 100, tol: float = DEFAULT_TOL):
         self.max_iter = check_positive_int(max_iter, "max_iter")
         if tol <= 0:
             raise CleaningError("tol must be positive")
         self.tol = float(tol)
+
+    def _fitted(self, pooled: np.ndarray, context: CleaningContext) -> MvnEmEstimate:
+        """EM fit of *pooled*, memoised on the replication context.
+
+        Strategies 1 and 2 blank and pool the identical sample, so within
+        one replication the fit is computed once; the memo key includes the
+        pooled bytes, making a hit provably bitwise-equal to a refit.
+        """
+        key = ("mvn_em_fit", self.max_iter, self.tol, pooled.tobytes())
+        return context.memo(
+            key, lambda: fit_mvn_em(pooled, max_iter=self.max_iter, tol=self.tol)
+        )
 
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         attributes = sample.attributes
@@ -220,13 +332,36 @@ class MvnImputation(MissingInconsistentTreatment):
             blanked.append(context.to_analysis(values, attributes))
             masks.append(mask)
         pooled = np.concatenate(blanked, axis=0)
-        estimate = fit_mvn_em(pooled, max_iter=self.max_iter, tol=self.tol)
+        estimate = self._fitted(pooled, context)
+        imputed_pooled = draw_conditional(pooled, estimate, context.rng)
 
         treated: list[TimeSeries] = []
-        for series, analysis, mask in zip(sample, blanked, masks):
-            imputed = draw_conditional(analysis, estimate, context.rng)
+        offset = 0
+        for series, mask in zip(sample, masks):
+            imputed = imputed_pooled[offset : offset + series.length]
+            offset += series.length
             raw_imputed = context.from_analysis(imputed, attributes)
             values = series.values.copy()
             values[mask] = raw_imputed[mask]
             treated.append(series.with_values(values))
         return StreamDataset(treated)
+
+    def apply_block(self, block: SampleBlock, context: CleaningContext) -> SampleBlock:
+        """Block path: one vectorised blank/transform/pool pass, then the
+        same pooled pattern-grouped draws as :meth:`apply` — both layouts
+        hand :func:`draw_conditional` the identical pooled matrix, so the
+        treated values are bitwise-identical by construction."""
+        attributes = block.attributes
+        mask = context.treatable_mask_values(block.values, attributes)
+        blanked = block.values.copy()
+        blanked[mask] = np.nan
+        analysis = context.to_analysis(blanked, attributes)
+        pooled = analysis.reshape(-1, analysis.shape[-1])
+        estimate = self._fitted(pooled, context)
+        imputed = draw_conditional(pooled, estimate, context.rng).reshape(
+            analysis.shape
+        )
+        raw_imputed = context.from_analysis(imputed, attributes)
+        values = block.values.copy()
+        values[mask] = raw_imputed[mask]
+        return block.with_values(values)

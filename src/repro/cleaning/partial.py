@@ -8,10 +8,13 @@ paper's cost proxy; sweeping it produces Figure 7.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.cleaning.base import CleaningContext, CleaningStrategy
 from repro.core.glitch_index import GlitchWeights, series_glitch_scores
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.glitches.detectors import DetectorSuite
 from repro.glitches.outliers import SigmaOutlierDetector
@@ -50,17 +53,31 @@ class PartialCleaner(CleaningStrategy):
         self.weights = weights or GlitchWeights()
         self.name = f"{strategy.name}@{int(round(self.fraction * 100))}%"
 
+    @property
+    def cost_fraction(self) -> float:
+        """The cost proxy of Section 5.2: the configured cleaned fraction.
+
+        This overrides :attr:`CleaningStrategy.cost_fraction` (1.0 for full
+        strategies), so ``StrategyOutcome.cost_fraction`` lands on the sweep
+        coordinate Figure 7 plots.
+        """
+        return self.fraction
+
+    def _ranking_suite(self, context: CleaningContext) -> DetectorSuite:
+        """The full detector suite (outlier limits from the ideal sample)."""
+        return DetectorSuite(
+            constraints=context.constraints,
+            outlier_detector=SigmaOutlierDetector(context.limits),
+            transform=context.transform,
+        )
+
     def clean(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         if self.fraction == 0.0:
             return sample.copy()
         if self.fraction == 1.0:
             return self.strategy.clean(sample, context)
         # Rank with the full suite (outlier limits from the ideal sample).
-        suite = DetectorSuite(
-            constraints=context.constraints,
-            outlier_detector=SigmaOutlierDetector(context.limits),
-            transform=context.transform,
-        )
+        suite = self._ranking_suite(context)
         glitches = suite.annotate_dataset(sample)
         scores = series_glitch_scores(glitches, self.weights)
         n_clean = int(round(self.fraction * len(sample)))
@@ -79,3 +96,29 @@ class PartialCleaner(CleaningStrategy):
             else:
                 out.append(series.copy())
         return StreamDataset(out)
+
+    def clean_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> Optional[SampleBlock]:
+        """Block path: whole-block ranking, then the wrapped strategy's block
+        path on the chosen sub-block; the merge is one row scatter. ``None``
+        (fall back to :meth:`clean`) when the wrapped strategy has no block
+        path — capability is known before any random draw."""
+        if self.fraction == 0.0:
+            return block.copy()
+        if self.fraction == 1.0:
+            return self.strategy.clean_block(block, context)
+        suite = self._ranking_suite(context)
+        glitches = suite.annotate_block(block)
+        scores = glitches.series_scores(self.weights.as_array())
+        n_clean = int(round(self.fraction * block.n_series))
+        order = np.argsort(-scores, kind="stable")
+        chosen = sorted(int(i) for i in order[:n_clean])
+        if not chosen:
+            return block.copy()
+        cleaned_subset = self.strategy.clean_block(block.take(chosen), context)
+        if cleaned_subset is None:
+            return None
+        values = block.values.copy()
+        values[np.asarray(chosen, dtype=np.intp)] = cleaned_subset.values
+        return block.with_values(values)

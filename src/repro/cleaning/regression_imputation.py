@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cleaning.base import CleaningContext, MissingInconsistentTreatment
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 from repro.errors import CleaningError
@@ -32,6 +33,7 @@ class RegressionImputation(MissingInconsistentTreatment):
     """
 
     name = "regression"
+    supports_block = True
 
     def __init__(self, ridge: float = 1e-6):
         if ridge < 0:
@@ -63,6 +65,30 @@ class RegressionImputation(MissingInconsistentTreatment):
             models.append((coef, intercept))
         return models
 
+    @staticmethod
+    def _predict_series(
+        analysis: np.ndarray, models: "list[tuple[np.ndarray, float]]"
+    ) -> np.ndarray:
+        """One series' analysis-scale values with regression-filled gaps.
+
+        Shared by the per-series and block paths so the gap predictions are
+        the same arithmetic (shape for shape) on both.
+        """
+        d = analysis.shape[1]
+        filled = analysis.copy()
+        for target in range(d):
+            gaps = np.isnan(analysis[:, target])
+            if not gaps.any():
+                continue
+            predictors = [j for j in range(d) if j != target]
+            coef, intercept = models[target]
+            x = analysis[np.ix_(np.flatnonzero(gaps), predictors)]
+            usable = ~np.isnan(x).any(axis=1)
+            pred = np.full(int(gaps.sum()), np.nan)
+            pred[usable] = x[usable] @ coef + intercept
+            filled[gaps, target] = pred
+        return filled
+
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         attributes = sample.attributes
         blanked: list[np.ndarray] = []
@@ -78,20 +104,8 @@ class RegressionImputation(MissingInconsistentTreatment):
         means = context.ideal_means
 
         treated: list[TimeSeries] = []
-        d = len(attributes)
         for series, analysis, mask in zip(sample, blanked, masks):
-            filled = analysis.copy()
-            for target in range(d):
-                gaps = np.isnan(analysis[:, target])
-                if not gaps.any():
-                    continue
-                predictors = [j for j in range(d) if j != target]
-                coef, intercept = models[target]
-                x = analysis[np.ix_(np.flatnonzero(gaps), predictors)]
-                usable = ~np.isnan(x).any(axis=1)
-                pred = np.full(int(gaps.sum()), np.nan)
-                pred[usable] = x[usable] @ coef + intercept
-                filled[gaps, target] = pred
+            filled = self._predict_series(analysis, models)
             raw_filled = context.from_analysis(filled, attributes)
             values = series.values.copy()
             values[mask] = raw_filled[mask]
@@ -101,3 +115,29 @@ class RegressionImputation(MissingInconsistentTreatment):
                 values[hole, j] = means[attr]
             treated.append(series.with_values(values))
         return StreamDataset(treated)
+
+    def apply_block(self, block: SampleBlock, context: CleaningContext) -> SampleBlock:
+        """Block path: vectorised blanking/transform/pooling and one model
+        fit; the per-series gap predictions replay the per-series arithmetic
+        (same matrix shapes) so the result is bitwise-identical to
+        :meth:`apply`."""
+        attributes = block.attributes
+        mask = context.treatable_mask_values(block.values, attributes)
+        blanked = block.values.copy()
+        blanked[mask] = np.nan
+        analysis = context.to_analysis(blanked, attributes)
+        pooled = analysis.reshape(-1, analysis.shape[-1])
+        models = self._fit(pooled)
+        means = context.ideal_means
+
+        filled = np.empty_like(analysis)
+        for i in range(block.n_series):
+            filled[i] = self._predict_series(analysis[i], models)
+        raw_filled = context.from_analysis(filled, attributes)
+        values = block.values.copy()
+        values[mask] = raw_filled[mask]
+        for j, attr in enumerate(attributes):
+            col = values[..., j]
+            hole = mask[..., j] & np.isnan(col)
+            col[hole] = means[attr]
+        return block.with_values(values)

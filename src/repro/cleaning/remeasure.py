@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.cleaning.base import CleaningContext, CleaningStrategy
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
 from repro.errors import CleaningError
@@ -76,3 +79,43 @@ class RemeasureStrategy(CleaningStrategy):
             return series.with_values(values)
 
         return sample.map(treat)
+
+    def clean_block(
+        self, block: SampleBlock, context: CleaningContext
+    ) -> Optional[SampleBlock]:
+        """Block path: mask evaluation and truth scatter run whole-block;
+        only the coverage-budget draw stays per series (it must consume
+        ``context.rng`` in the per-series order to match :meth:`clean`)."""
+        if block.truth is None:
+            raise CleaningError(
+                "sample block has no ground truth; re-measurement is only "
+                "possible on generated data"
+            )
+        attributes = block.attributes
+        mask = context.treatable_mask_values(block.values, attributes)
+        if self.include_outliers:
+            analysis = context.to_analysis(block.values, attributes)
+            for j, attr in enumerate(attributes):
+                if attr not in context.limits:
+                    continue
+                lo, hi = context.limits.bounds(attr)
+                col = analysis[..., j]
+                with np.errstate(invalid="ignore"):
+                    mask[..., j] |= np.isfinite(col) & ((col < lo) | (col > hi))
+        if self.coverage < 1.0:
+            for i in range(block.n_series):
+                series_mask = mask[i]
+                if not series_mask.any():
+                    continue
+                flat = np.flatnonzero(series_mask.ravel())
+                keep = context.rng.choice(
+                    flat,
+                    size=int(round(self.coverage * flat.size)),
+                    replace=False,
+                )
+                series_mask = np.zeros_like(series_mask).ravel()
+                series_mask[keep] = True
+                mask[i] = series_mask.reshape(mask[i].shape)
+        values = block.values.copy()
+        values[mask] = block.truth[mask]
+        return block.with_values(values)

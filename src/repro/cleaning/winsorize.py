@@ -12,8 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cleaning.base import CleaningContext, OutlierTreatment
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.data.stream import TimeSeries
+from repro.errors import ValidationError
 
 __all__ = ["WinsorizeOutliers"]
 
@@ -28,6 +30,7 @@ class WinsorizeOutliers(OutlierTreatment):
     """
 
     name = "winsorize"
+    supports_block = True
 
     def apply(self, sample: StreamDataset, context: CleaningContext) -> StreamDataset:
         limits = context.limits
@@ -52,3 +55,40 @@ class WinsorizeOutliers(OutlierTreatment):
             return series.with_values(raw)
 
         return sample.map(treat)
+
+    def apply_block(self, block: SampleBlock, context: CleaningContext) -> SampleBlock:
+        """Block path: clip every attribute across the whole ``(n, T, v)``
+        tensor at once, mapping only the clipped cells back through the
+        transform's inverse. The per-series path routes the whole series
+        array through ``from_analysis`` and reads one column back; since the
+        inverse is elementwise and untransformed columns pass through
+        unchanged, repairing just the gathered outlying cells yields the
+        identical raw values cell for cell."""
+        limits = context.limits
+        attributes = block.attributes
+        transform = context.transform
+        analysis = context.to_analysis(block.values, attributes)
+        raw = block.values.copy()
+        for j, attr in enumerate(attributes):
+            if attr not in limits:
+                continue
+            lo, hi = limits.bounds(attr)
+            col = analysis[..., j]
+            with np.errstate(invalid="ignore"):
+                outlying = np.isfinite(col) & ((col < lo) | (col > hi))
+            if not outlying.any():
+                continue
+            clipped = np.clip(col[outlying], lo, hi)
+            if transform is None:
+                repaired = clipped
+            elif transform.inverse is None:
+                # Match the per-series path, which raises through
+                # ``from_analysis`` whenever any attribute needs repair.
+                raise ValidationError(f"transform {transform.name!r} has no inverse")
+            elif attr == transform.attribute:
+                with np.errstate(invalid="ignore", over="ignore"):
+                    repaired = transform.inverse(clipped)
+            else:
+                repaired = clipped
+            raw[..., j][outlying] = repaired
+        return block.with_values(raw)

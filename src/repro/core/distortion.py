@@ -9,8 +9,11 @@ respect to the ideal", Section 1.1), pooling every time instant as one
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+import numpy as np
+
+from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
 from repro.distance.emd import EarthMoverDistance
@@ -19,10 +22,33 @@ from repro.glitches.detectors import ScaleTransform
 
 __all__ = ["statistical_distortion", "statistical_distortion_batch"]
 
+#: Either layout of one replication sample.
+Sample = Union[StreamDataset, SampleBlock]
+
+
+def _pooled_analysis(sample: Sample, transform: Optional[ScaleTransform]) -> np.ndarray:
+    """Complete analysis-scale rows of a data set or sample block.
+
+    The block branch transforms the whole ``(n, T, v)`` tensor in place of
+    per-series passes and reads the pooled matrix straight off the block
+    columns; row order and every cell match the per-series pooling, so the
+    downstream distances are bitwise-identical across layouts.
+    """
+    if isinstance(sample, SampleBlock):
+        values = (
+            transform.forward_values(sample.values, sample.attributes)
+            if transform is not None
+            else sample.values
+        )
+        flat = values.reshape(-1, values.shape[-1])
+        return flat[~np.isnan(flat).any(axis=1)]
+    scaled = transform.apply_dataset(sample) if transform is not None else sample
+    return scaled.pooled(dropna="any")
+
 
 def statistical_distortion(
-    dirty: StreamDataset,
-    treated: StreamDataset,
+    dirty: Sample,
+    treated: Sample,
     distance: Optional[Distance] = None,
     transform: Optional[ScaleTransform] = None,
 ) -> float:
@@ -48,8 +74,8 @@ def statistical_distortion(
 
 
 def statistical_distortion_batch(
-    dirty: StreamDataset,
-    treated_seq: Sequence[StreamDataset],
+    dirty: Sample,
+    treated_seq: Sequence[Sample],
     distance: Optional[Distance] = None,
     transform: Optional[ScaleTransform] = None,
 ) -> list[float]:
@@ -61,7 +87,10 @@ def statistical_distortion_batch(
     that implement a cached ``pairwise`` path (the default EMD does) bin
     the reference once on a grid shared by all candidates instead of
     re-binning it per strategy. Returns one distortion per treated data
-    set, in order.
+    set, in order. Either side may be a columnar
+    :class:`~repro.data.block.SampleBlock` — its pooled rows are read
+    straight off the block columns, bitwise-identical to the per-series
+    pooling.
 
     **Shared-support semantics** (multivariate EMD): the grid spans the
     pooled union of the dirty sample and *every* treated candidate — the
@@ -76,11 +105,8 @@ def statistical_distortion_batch(
     way.
     """
     distance = distance or EarthMoverDistance()
-    if transform is not None:
-        dirty = transform.apply_dataset(dirty)
-        treated_seq = [transform.apply_dataset(t) for t in treated_seq]
-    p = dirty.pooled(dropna="any")
-    qs = [t.pooled(dropna="any") for t in treated_seq]
+    p = _pooled_analysis(dirty, transform)
+    qs = [_pooled_analysis(t, transform) for t in treated_seq]
     if p.shape[0] == 0 or any(q.shape[0] == 0 for q in qs):
         raise DistanceError("no complete records to compare")
     return [float(d) for d in distance.pairwise(p, qs)]

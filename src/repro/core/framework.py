@@ -32,7 +32,12 @@ from repro.cleaning.base import CleaningContext, CleaningStrategy
 from repro.core.distortion import statistical_distortion_batch
 from repro.core.evaluation import StrategyOutcome, StrategySummary, summarize_outcomes
 from repro.core.executor import ExecutionBackend, parse_backend_spec, resolve_backend
-from repro.core.glitch_index import GlitchWeights, series_glitch_scores
+from repro.core.glitch_index import (
+    GlitchWeights,
+    series_glitch_scores,
+    series_glitch_scores_block,
+)
+from repro.data.block import SampleBlock, block_fast_path_enabled
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
 from repro.distance.emd import EarthMoverDistance
@@ -144,6 +149,12 @@ def evaluate_pair_outcomes(
     the serial loop — then all treated samples are scored against the dirty
     sample in one batched distortion call, which bins the dirty side once on
     a grid shared by the whole strategy panel.
+
+    Pairs carrying a columnar :class:`~repro.data.block.SampleBlock` (the
+    default for uniform-length populations, see ``generate_test_pairs``) run
+    the whole clean → annotate → score loop on block tensors — bitwise-
+    identical outcomes, a fraction of the wall clock. ``REPRO_BLOCK=0``
+    forces the per-series reference path.
     """
     distance = distance or EarthMoverDistance()
     weights = weights or GlitchWeights()
@@ -154,12 +165,18 @@ def evaluate_pair_outcomes(
         constraints=constraints,
         sigma_k=config.sigma_k,
         seed=seed,
+        ideal_block=getattr(pair, "ideal_block", None),
     )
     suite = DetectorSuite(
         constraints=constraints,
         outlier_detector=SigmaOutlierDetector(context.limits),
         transform=config.transform,
     )
+    block = getattr(pair, "dirty_block", None)
+    if block is not None and block_fast_path_enabled():
+        return _evaluate_pair_block(
+            pair, block, strategies, config, distance, weights, context, suite
+        )
     # Glitch indexes are reported per reference sample of 100 series, so
     # experiments with different B land on directly comparable axes —
     # the paper's Figures 6(a) and 6(c) (B = 100 vs 500) share their
@@ -179,7 +196,6 @@ def evaluate_pair_outcomes(
         g_treated = per_100 * float(
             series_glitch_scores(treated_glitches, weights).sum()
         )
-        cost = getattr(strategy, "fraction", 1.0)
         outcomes.append(
             StrategyOutcome(
                 strategy=strategy.name,
@@ -190,7 +206,62 @@ def evaluate_pair_outcomes(
                 glitch_index_treated=g_treated,
                 dirty_fractions=dict(dirty_fractions),
                 treated_fractions=dict(treated_glitches.record_fractions()),
-                cost_fraction=float(cost),
+                cost_fraction=float(strategy.cost_fraction),
+            )
+        )
+    return outcomes
+
+
+def _evaluate_pair_block(
+    pair: TestPair,
+    block: SampleBlock,
+    strategies: Sequence[CleaningStrategy],
+    config: ExperimentConfig,
+    distance: Distance,
+    weights: GlitchWeights,
+    context: CleaningContext,
+    suite: DetectorSuite,
+) -> list[StrategyOutcome]:
+    """Columnar fast path of :func:`evaluate_pair_outcomes`.
+
+    Annotation, cleaning and pooling all run on the ``(B, T, v)`` block
+    tensor; a strategy without a block implementation transparently falls
+    back to its per-series ``clean`` (on zero-copy views) for just that
+    panel slot. Contractually bitwise-identical to the per-series path —
+    ``tests/test_block_strategies.py`` enforces it outcome field by outcome
+    field.
+    """
+    per_100 = 100.0 / block.n_series
+    dirty_glitches = suite.annotate_block(block)
+    g_dirty = per_100 * float(series_glitch_scores_block(dirty_glitches, weights).sum())
+    dirty_fractions = dirty_glitches.record_fractions()
+
+    treated_blocks: list[SampleBlock] = []
+    for strategy in strategies:
+        treated = strategy.clean_block(block, context)
+        if treated is None:
+            treated = strategy.clean(pair.dirty, context).to_block()
+        treated_blocks.append(treated)
+    distortions = statistical_distortion_batch(
+        block, treated_blocks, distance=distance, transform=config.transform
+    )
+    outcomes = []
+    for strategy, treated, distortion in zip(strategies, treated_blocks, distortions):
+        treated_glitches = suite.annotate_block(treated)
+        g_treated = per_100 * float(
+            series_glitch_scores_block(treated_glitches, weights).sum()
+        )
+        outcomes.append(
+            StrategyOutcome(
+                strategy=strategy.name,
+                replication=pair.index,
+                improvement=g_dirty - g_treated,
+                distortion=distortion,
+                glitch_index_dirty=g_dirty,
+                glitch_index_treated=g_treated,
+                dirty_fractions=dict(dirty_fractions),
+                treated_fractions=dict(treated_glitches.record_fractions()),
+                cost_fraction=float(strategy.cost_fraction),
             )
         )
     return outcomes

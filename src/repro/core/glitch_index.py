@@ -23,12 +23,13 @@ import numpy as np
 from repro.data.dataset import StreamDataset
 from repro.errors import ValidationError
 from repro.glitches.detectors import DetectorSuite
-from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType
+from repro.glitches.types import BlockGlitches, DatasetGlitches, GlitchMatrix, GlitchType
 
 __all__ = [
     "GlitchWeights",
     "series_glitch_score",
     "series_glitch_scores",
+    "series_glitch_scores_block",
     "glitch_index",
     "glitch_improvement",
 ]
@@ -86,6 +87,20 @@ def series_glitch_scores(
     """
     weights = weights or GlitchWeights()
     return np.array([series_glitch_score(m, weights) for m in glitches])
+
+
+def series_glitch_scores_block(
+    glitches: BlockGlitches, weights: GlitchWeights | None = None
+) -> np.ndarray:
+    """Per-series scores from a whole-block annotation tensor.
+
+    Bitwise-identical to :func:`series_glitch_scores` over the equivalent
+    :class:`~repro.glitches.types.DatasetGlitches` — the time-axis bit counts
+    are one batched integer reduction and the float tail replays the
+    per-series arithmetic.
+    """
+    weights = weights or GlitchWeights()
+    return glitches.series_scores(weights.as_array())
 
 
 def glitch_index(

@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.data.block import SampleBlock
 from repro.data.stream import TimeSeries
 from repro.errors import DataShapeError, ValidationError
 
@@ -145,6 +146,59 @@ class StreamDataset:
         Used for the log-transform experimental factor (Section 5.3).
         """
         return self.map(lambda s: s.transformed(attribute, forward))
+
+    # -- columnar block layout -------------------------------------------------
+
+    def to_block(self) -> SampleBlock:
+        """This data set as one contiguous ``(n, T, v)`` sample block.
+
+        Requires a uniform series length (``T_ijk`` equal for every member);
+        ragged data sets raise :class:`~repro.errors.DataShapeError` and stay
+        on the per-series path. The ground-truth tensor is included only when
+        every member series carries one. Use :meth:`try_to_block` for the
+        non-raising form.
+        """
+        lengths = {s.length for s in self._series}
+        if len(lengths) != 1:
+            raise DataShapeError(
+                f"to_block needs a uniform series length, got lengths {sorted(lengths)}"
+            )
+        values = np.stack([s.values for s in self._series])
+        truth = None
+        if all(s.truth is not None for s in self._series):
+            truth = np.stack([s.truth for s in self._series])
+        return SampleBlock(
+            values=values,
+            attributes=self.attributes,
+            nodes=tuple(s.node for s in self._series),
+            truth=truth,
+        )
+
+    def try_to_block(self) -> Optional[SampleBlock]:
+        """:meth:`to_block`, or ``None`` when the layout does not apply."""
+        try:
+            return self.to_block()
+        except DataShapeError:
+            return None
+
+    @staticmethod
+    def from_block(block: SampleBlock) -> "StreamDataset":
+        """A data set of **zero-copy** series views into *block*.
+
+        Each member's ``values`` (and ``truth``) array is a view of the block
+        tensor: mutating a view mutates the block, and vice versa. Strategies
+        never mutate their input, so sharing is safe throughout the library;
+        copy the block first if the caller intends in-place edits.
+        """
+        return StreamDataset(
+            TimeSeries(
+                block.nodes[i],
+                block.values[i],
+                block.attributes,
+                None if block.truth is None else block.truth[i],
+            )
+            for i in range(block.n_series)
+        )
 
     @staticmethod
     def from_shards(chunks: Iterable[Iterable[TimeSeries]]) -> "StreamDataset":

@@ -14,7 +14,12 @@ from repro.distance.histogram import HistogramBinner, SparseHistogram
 from repro.distance.kl import JensenShannonDistance, KLDivergence
 from repro.distance.ks import KolmogorovSmirnovDistance
 from repro.distance.mahalanobis import MahalanobisDistance
-from repro.distance.transport import TransportResult, solve_transport, transport_cost_1d
+from repro.distance.transport import (
+    TransportResult,
+    solve_transport,
+    solve_transport_batch,
+    transport_cost_1d,
+)
 
 __all__ = [
     "Distance",
@@ -31,5 +36,6 @@ __all__ = [
     "MahalanobisDistance",
     "TransportResult",
     "solve_transport",
+    "solve_transport_batch",
     "transport_cost_1d",
 ]

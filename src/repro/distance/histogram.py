@@ -29,10 +29,16 @@ class SparseHistogram:
 
     ``centers`` is ``(K, d)`` — the bin-centre coordinates (in whatever
     coordinate system the binner used); ``probs`` is ``(K,)`` and sums to 1.
+    ``keys`` (optional) holds the sorted flat grid ids of the occupied bins;
+    two histograms produced by the **same** binner call share a key space,
+    which lets the EMD solver match common bins exactly and cancel the mass
+    that would be transported zero distance. Hand-built histograms may omit
+    it — consumers must then treat all mass as movable.
     """
 
     centers: np.ndarray
     probs: np.ndarray
+    keys: "np.ndarray | None" = None
 
     def __post_init__(self) -> None:
         if self.centers.ndim != 2:
@@ -41,6 +47,10 @@ class SparseHistogram:
             raise DistanceError(
                 f"probs shape {self.probs.shape} does not match centers "
                 f"{self.centers.shape}"
+            )
+        if self.keys is not None and self.keys.shape != self.probs.shape:
+            raise DistanceError(
+                f"keys shape {self.keys.shape} does not match probs {self.probs.shape}"
             )
         total = float(self.probs.sum())
         if not np.isclose(total, 1.0, atol=1e-8):
@@ -202,4 +212,4 @@ class HistogramBinner:
             centers[:, j] = centers_1d[j][remaining % dims[j]]
             remaining = remaining // dims[j]
         probs = counts / counts.sum()
-        return SparseHistogram(centers=centers, probs=probs)
+        return SparseHistogram(centers=centers, probs=probs, keys=keys)

@@ -44,11 +44,37 @@ class Constraint(ABC):
     constraint is violated and the violation is attributed to that cell.
     Missing (NaN) values never violate value constraints — they are a
     different glitch type.
+
+    The built-in constraints are pure elementwise array programs, so they
+    implement :meth:`evaluate_values` on value arrays of **any** leading
+    shape (``(T, v)`` for one series, ``(n, T, v)`` for a whole
+    :class:`~repro.data.block.SampleBlock`) and define ``evaluate`` as a
+    thin delegation — which is what makes the block and per-series detector
+    paths bitwise-identical by construction. Subclasses that only implement
+    the per-series ``evaluate`` (the original contract) still work
+    everywhere: the default :meth:`evaluate_values` loops series views.
     """
 
     @abstractmethod
     def evaluate(self, series: TimeSeries) -> np.ndarray:
         """``(T, v)`` violation mask for *series*."""
+
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        """Violation mask for a ``(..., v)`` value array (same shape out).
+
+        Default implementation: evaluate per series through
+        :meth:`evaluate`. The built-in constraints override this with a
+        single vectorised pass and route ``evaluate`` through it instead.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 2:
+            return self.evaluate(TimeSeries(None, values, tuple(attributes)))
+        mask = np.zeros(values.shape, dtype=bool)
+        for i in range(values.shape[0]):
+            mask[i] = self.evaluate(TimeSeries(None, values[i], tuple(attributes)))
+        return mask
 
     @abstractmethod
     def describe(self) -> str:
@@ -57,19 +83,31 @@ class Constraint(ABC):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.describe()!r})"
 
-    def _mask_for(self, series: TimeSeries) -> np.ndarray:
-        return np.zeros(series.values.shape, dtype=bool)
-
     @staticmethod
-    def _column(series: TimeSeries, attribute: str) -> tuple[int, np.ndarray]:
+    def _column_of(
+        values: np.ndarray, attributes: tuple[str, ...], attribute: str
+    ) -> tuple[int, np.ndarray]:
         try:
-            j = series.attribute_index(attribute)
-        except KeyError as exc:
-            raise ConstraintError(str(exc)) from None
-        return j, series.values[:, j]
+            j = attributes.index(attribute)
+        except ValueError:
+            raise ConstraintError(
+                f"unknown attribute {attribute!r}; have {attributes}"
+            ) from None
+        return j, values[..., j]
 
 
-class LowerBoundConstraint(Constraint):
+class _ArrayConstraint(Constraint):
+    """Base of the built-in constraints: the array form is primary.
+
+    Subclasses implement :meth:`evaluate_values`; the per-series
+    :meth:`evaluate` is the thin delegation.
+    """
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        return self.evaluate_values(series.values, series.attributes)
+
+
+class LowerBoundConstraint(_ArrayConstraint):
     """``attribute >= bound`` (or ``>`` when ``strict``).
 
     Constraint 1 of the paper is ``LowerBoundConstraint("attr1", 0.0)``.
@@ -80,12 +118,14 @@ class LowerBoundConstraint(Constraint):
         self.bound = float(bound)
         self.strict = bool(strict)
 
-    def evaluate(self, series: TimeSeries) -> np.ndarray:
-        mask = self._mask_for(series)
-        j, col = self._column(series, self.attribute)
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        mask = np.zeros(values.shape, dtype=bool)
+        j, col = self._column_of(values, attributes, self.attribute)
         cmp = operator.le if self.strict else operator.lt
         with np.errstate(invalid="ignore"):
-            mask[:, j] = np.isfinite(col) & cmp(col, self.bound)
+            mask[..., j] = np.isfinite(col) & cmp(col, self.bound)
         return mask
 
     def describe(self) -> str:
@@ -93,7 +133,7 @@ class LowerBoundConstraint(Constraint):
         return f"{self.attribute} {op} {self.bound}"
 
 
-class RangeConstraint(Constraint):
+class RangeConstraint(_ArrayConstraint):
     """``low <= attribute <= high``.
 
     Constraint 2 of the paper is ``RangeConstraint("attr3", 0.0, 1.0)``.
@@ -106,18 +146,20 @@ class RangeConstraint(Constraint):
         self.low = float(low)
         self.high = float(high)
 
-    def evaluate(self, series: TimeSeries) -> np.ndarray:
-        mask = self._mask_for(series)
-        j, col = self._column(series, self.attribute)
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        mask = np.zeros(values.shape, dtype=bool)
+        j, col = self._column_of(values, attributes, self.attribute)
         with np.errstate(invalid="ignore"):
-            mask[:, j] = np.isfinite(col) & ((col < self.low) | (col > self.high))
+            mask[..., j] = np.isfinite(col) & ((col < self.low) | (col > self.high))
         return mask
 
     def describe(self) -> str:
         return f"{self.low} <= {self.attribute} <= {self.high}"
 
 
-class NotPopulatedIfConstraint(Constraint):
+class NotPopulatedIfConstraint(_ArrayConstraint):
     """*attribute* must not be populated when *other* is missing.
 
     Constraint 3 of the paper is
@@ -134,18 +176,20 @@ class NotPopulatedIfConstraint(Constraint):
         self.attribute = attribute
         self.other = other
 
-    def evaluate(self, series: TimeSeries) -> np.ndarray:
-        mask = self._mask_for(series)
-        j, col = self._column(series, self.attribute)
-        _, other_col = self._column(series, self.other)
-        mask[:, j] = np.isfinite(col) & np.isnan(other_col)
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        mask = np.zeros(values.shape, dtype=bool)
+        j, col = self._column_of(values, attributes, self.attribute)
+        _, other_col = self._column_of(values, attributes, self.other)
+        mask[..., j] = np.isfinite(col) & np.isnan(other_col)
         return mask
 
     def describe(self) -> str:
         return f"{self.attribute} must not be populated if {self.other} is missing"
 
 
-class CrossAttributeConstraint(Constraint):
+class CrossAttributeConstraint(_ArrayConstraint):
     """Pairwise comparison between two attributes, e.g. ``attr1 >= attr2``.
 
     Violations are attributed to *attribute* (the left-hand side). Records
@@ -167,21 +211,23 @@ class CrossAttributeConstraint(Constraint):
         self.op = op
         self.other = other
 
-    def evaluate(self, series: TimeSeries) -> np.ndarray:
-        mask = self._mask_for(series)
-        j, col = self._column(series, self.attribute)
-        _, other_col = self._column(series, self.other)
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        mask = np.zeros(values.shape, dtype=bool)
+        j, col = self._column_of(values, attributes, self.attribute)
+        _, other_col = self._column_of(values, attributes, self.other)
         both = np.isfinite(col) & np.isfinite(other_col)
         with np.errstate(invalid="ignore"):
             holds = self._OPS[self.op](col, other_col)
-        mask[:, j] = both & ~holds
+        mask[..., j] = both & ~holds
         return mask
 
     def describe(self) -> str:
         return f"{self.attribute} {self.op} {self.other}"
 
 
-class PredicateConstraint(Constraint):
+class PredicateConstraint(_ArrayConstraint):
     """Escape hatch: an arbitrary record-level predicate.
 
     ``predicate`` receives the full ``(T, v)`` value array and must return a
@@ -199,15 +245,24 @@ class PredicateConstraint(Constraint):
         self.predicate = predicate
         self.description = description
 
-    def evaluate(self, series: TimeSeries) -> np.ndarray:
-        mask = self._mask_for(series)
-        j, _ = self._column(series, self.attribute)
-        flags = np.asarray(self.predicate(series.values), dtype=bool)
-        if flags.shape != (series.length,):
-            raise ConstraintError(
-                f"predicate must return shape ({series.length},), got {flags.shape}"
-            )
-        mask[:, j] = flags
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        mask = np.zeros(values.shape, dtype=bool)
+        j, _ = self._column_of(values, attributes, self.attribute)
+        if values.ndim == 2:
+            length = values.shape[0]
+            flags = np.asarray(self.predicate(values), dtype=bool)
+            if flags.shape != (length,):
+                raise ConstraintError(
+                    f"predicate must return shape ({length},), got {flags.shape}"
+                )
+            mask[:, j] = flags
+            return mask
+        # The predicate contract is record-level over one (T, v) series, so
+        # higher-rank inputs (sample blocks) evaluate one series at a time.
+        for i in range(values.shape[0]):
+            mask[i] = self.evaluate_values(values[i], attributes)
         return mask
 
     def describe(self) -> str:
@@ -238,9 +293,23 @@ class ConstraintSet:
 
     def evaluate(self, series: TimeSeries) -> np.ndarray:
         """``(T, v)`` OR-combined violation mask."""
-        mask = np.zeros(series.values.shape, dtype=bool)
+        return self.evaluate_values(series.values, series.attributes)
+
+    def evaluate_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        """OR-combined violation mask for a ``(..., v)`` value array.
+
+        This is the block detector's entry point: one vectorised pass over a
+        whole ``(n, T, v)`` sample tensor, bitwise-identical to evaluating
+        each series separately. Constraints that only implement the
+        per-series :meth:`Constraint.evaluate` participate through the base
+        class's series-at-a-time :meth:`Constraint.evaluate_values` default.
+        """
+        values = np.asarray(values, dtype=float)
+        mask = np.zeros(values.shape, dtype=bool)
         for c in self._constraints:
-            mask |= c.evaluate(series)
+            mask |= c.evaluate_values(values, tuple(attributes))
         return mask
 
     def detect(self, series: TimeSeries) -> np.ndarray:

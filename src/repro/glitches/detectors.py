@@ -29,11 +29,18 @@ from repro.errors import ValidationError
 from repro.glitches.constraints import ConstraintSet, paper_constraints
 from repro.glitches.missing import detect_missing
 from repro.glitches.outliers import SigmaLimits, SigmaOutlierDetector
-from repro.glitches.types import DatasetGlitches, GlitchMatrix, GlitchType, N_GLITCH_TYPES
+from repro.glitches.types import (
+    BlockGlitches,
+    DatasetGlitches,
+    GlitchMatrix,
+    GlitchType,
+    N_GLITCH_TYPES,
+)
 from repro.utils.validation import check_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> cleaning -> glitches)
     from repro.core.pipeline import Pipeline, ShardSpec
+    from repro.data.block import SampleBlock
 
 __all__ = [
     "ScaleTransform",
@@ -82,25 +89,30 @@ class ScaleTransform:
         return dataset.transformed(self.attribute, self.forward)
 
     def forward_values(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
-        """Transform the matching column of a raw ``(T, v)`` array (copy)."""
+        """Transform the matching column of a raw ``(..., v)`` array (copy).
+
+        The transform is elementwise, so per-series ``(T, v)`` arrays and
+        whole sample-block ``(n, T, v)`` tensors produce bitwise-identical
+        cells.
+        """
         out = np.asarray(values, dtype=float).copy()
         if self.attribute in attributes:
             j = attributes.index(self.attribute)
             with np.errstate(invalid="ignore", divide="ignore"):
-                col = np.asarray(self.forward(out[:, j]), dtype=float)
+                col = np.asarray(self.forward(out[..., j]), dtype=float)
             col[~np.isfinite(col)] = np.nan
-            out[:, j] = col
+            out[..., j] = col
         return out
 
     def inverse_values(self, values: np.ndarray, attributes: tuple[str, ...]) -> np.ndarray:
-        """Map an analysis-scale ``(T, v)`` array back to the raw scale (copy)."""
+        """Map an analysis-scale ``(..., v)`` array back to the raw scale (copy)."""
         if self.inverse is None:
             raise ValidationError(f"transform {self.name!r} has no inverse")
         out = np.asarray(values, dtype=float).copy()
         if self.attribute in attributes:
             j = attributes.index(self.attribute)
             with np.errstate(invalid="ignore", over="ignore"):
-                out[:, j] = self.inverse(out[:, j])
+                out[..., j] = self.inverse(out[..., j])
         return out
 
 
@@ -168,6 +180,41 @@ class DetectorSuite:
     def annotate_dataset(self, dataset: StreamDataset) -> DatasetGlitches:
         """Glitch annotations for every series, in data-set order."""
         return DatasetGlitches(self.annotate(s) for s in dataset)
+
+    def annotate_block(self, block: "SampleBlock") -> BlockGlitches:
+        """Glitch bit tensor ``(n, T, v, m)`` of a whole sample block.
+
+        The columnar analogue of :meth:`annotate_dataset`: missing,
+        inconsistency and outlier detection each run as one whole-block
+        boolean reduction instead of ``n`` per-series passes. Every bit is
+        identical to the per-series path (the detectors are elementwise); an
+        outlier detector without an array-level ``detect_values`` falls back
+        to series views.
+        """
+        values = block.values
+        bits = np.zeros(values.shape + (N_GLITCH_TYPES,), dtype=bool)
+        bits[..., int(GlitchType.MISSING)] = np.isnan(values)
+        bits[..., int(GlitchType.INCONSISTENT)] = self.constraints.evaluate_values(
+            values, block.attributes
+        )
+        if self.outlier_detector is not None:
+            scaled = (
+                self.transform.forward_values(values, block.attributes)
+                if self.transform
+                else values
+            )
+            detect_values = getattr(self.outlier_detector, "detect_values", None)
+            if detect_values is not None:
+                bits[..., int(GlitchType.OUTLIER)] = detect_values(
+                    scaled, block.attributes
+                )
+            else:  # pragma: no cover - custom detector shim
+                for i in range(block.n_series):
+                    series = TimeSeries(block.nodes[i], scaled[i], block.attributes)
+                    bits[i, :, :, int(GlitchType.OUTLIER)] = self.outlier_detector.detect(
+                        series
+                    )
+        return BlockGlitches(bits)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         t = self.transform.name if self.transform else "raw"

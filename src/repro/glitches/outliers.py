@@ -116,15 +116,26 @@ class SigmaOutlierDetector:
         an analysis-scale round trip (``log`` then ``exp``) perturbs them by
         an ulp.
         """
-        mask = np.zeros(series.values.shape, dtype=bool)
-        for j, attr in enumerate(series.attributes):
+        return self.detect_values(series.values, series.attributes)
+
+    def detect_values(
+        self, values: np.ndarray, attributes: tuple[str, ...]
+    ) -> np.ndarray:
+        """Outlier mask for a ``(..., v)`` value array (same shape out).
+
+        The detection rule is purely elementwise, so a whole
+        :class:`~repro.data.block.SampleBlock` tensor flags in one pass,
+        bitwise-identical to flagging each series separately.
+        """
+        mask = np.zeros(values.shape, dtype=bool)
+        for j, attr in enumerate(attributes):
             if attr not in self.limits:
                 continue
             lo, hi = self.limits.bounds(attr)
             tol = 1e-9 * (abs(hi - lo) + 1.0)
-            col = series.values[:, j]
+            col = values[..., j]
             with np.errstate(invalid="ignore"):
-                mask[:, j] = np.isfinite(col) & ((col < lo - tol) | (col > hi + tol))
+                mask[..., j] = np.isfinite(col) & ((col < lo - tol) | (col > hi + tol))
         return mask
 
     def scores(self, series: TimeSeries) -> np.ndarray:

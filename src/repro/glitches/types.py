@@ -15,7 +15,13 @@ import numpy as np
 from repro.data.stream import TimeSeries
 from repro.errors import DataShapeError, ValidationError
 
-__all__ = ["GlitchType", "N_GLITCH_TYPES", "GlitchMatrix", "DatasetGlitches"]
+__all__ = [
+    "GlitchType",
+    "N_GLITCH_TYPES",
+    "GlitchMatrix",
+    "DatasetGlitches",
+    "BlockGlitches",
+]
 
 
 class GlitchType(IntEnum):
@@ -172,3 +178,89 @@ class DatasetGlitches:
             f"{g.label}={self.record_fraction(g):.1%}" for g in GlitchType
         )
         return f"DatasetGlitches(n={len(self)}, {fracs})"
+
+
+class BlockGlitches:
+    """Glitch annotation of a whole sample block: one ``(n, T, v, m)`` tensor.
+
+    The columnar counterpart of :class:`DatasetGlitches` for uniform-length
+    samples: summaries run as whole-tensor integer reductions, and every
+    float it reports is **bitwise-identical** to the per-series object path
+    (integer counts are order-independent, and the per-series float
+    arithmetic is replayed with the exact shapes the per-series path uses).
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray):
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 4 or bits.shape[3] != N_GLITCH_TYPES:
+            raise DataShapeError(
+                f"bits must be (n, T, v, {N_GLITCH_TYPES}), got shape {bits.shape}"
+            )
+        self.bits = bits
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def n_series(self) -> int:
+        """Number of annotated series ``n``."""
+        return int(self.bits.shape[0])
+
+    @property
+    def length(self) -> int:
+        """Shared series length ``T``."""
+        return int(self.bits.shape[1])
+
+    def __len__(self) -> int:
+        return self.n_series
+
+    # -- views -----------------------------------------------------------------
+
+    def matrix(self, index: int) -> GlitchMatrix:
+        """The per-series :class:`GlitchMatrix` of one member (a view)."""
+        return GlitchMatrix(self.bits[index])
+
+    def to_dataset_glitches(self) -> DatasetGlitches:
+        """Per-series object form (views into the shared tensor)."""
+        return DatasetGlitches(self.matrix(i) for i in range(self.n_series))
+
+    # -- summaries ----------------------------------------------------------------
+
+    def series_scores(self, weights_vector: np.ndarray) -> np.ndarray:
+        """Length-normalised weighted glitch score per series.
+
+        ``weights_vector`` is the ``(m,)`` array from
+        :meth:`~repro.core.glitch_index.GlitchWeights.as_array`. The time-axis
+        bit counts are one batched integer reduction; the tiny per-series
+        float tail (``(v, m) / T @ w``) replays the per-series expression
+        shape-for-shape so the scores match :func:`series_glitch_scores` bit
+        for bit.
+        """
+        n, length = self.n_series, self.length
+        scores = np.zeros(n)
+        if length == 0:
+            return scores
+        counts = self.bits.sum(axis=1)  # (n, v, m) exact integer counts
+        normalised = counts / length  # elementwise, equals each per-series divide
+        for i in range(n):
+            scores[i] = float((normalised[i] @ weights_vector).sum())
+        return scores
+
+    def record_fraction(self, glitch: GlitchType) -> float:
+        """Record-level glitch rate pooled over all series."""
+        total = self.n_series * self.length
+        if total == 0:
+            return 0.0
+        hits = int(self.bits[:, :, :, int(glitch)].any(axis=2).sum())
+        return hits / total
+
+    def record_fractions(self) -> dict[GlitchType, float]:
+        """Record-level rate of each glitch type (the Table 1 columns)."""
+        return {g: self.record_fraction(g) for g in GlitchType}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fracs = ", ".join(
+            f"{g.label}={self.record_fraction(g):.1%}" for g in GlitchType
+        )
+        return f"BlockGlitches(n={self.n_series}, T={self.length}, {fracs})"

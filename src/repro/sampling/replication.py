@@ -4,28 +4,92 @@
 from the dirty data set D and the ideal data set DI, to create the test pair
 {Di, DiI}, i = 1..R. Each pair is called a replication, with B records in
 each of the data sets in the test pair."
+
+When the populations have a uniform series length, each replication is drawn
+as a **columnar sample block** (:class:`~repro.data.block.SampleBlock`): one
+C-level index gather into the parent block instead of ``B`` per-series object
+selections, and — when work units ship to process-pool workers — one array
+pickle instead of ``B`` ``TimeSeries`` pickles. The per-series ``dirty`` /
+``ideal`` data sets are materialised lazily as zero-copy views, so consumers
+of either layout see the exact same values. ``REPRO_BLOCK=0`` disables the
+block layout entirely (ragged populations skip it automatically).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
+from repro.data.block import SampleBlock, block_fast_path_enabled
 from repro.data.dataset import StreamDataset
-from repro.sampling.simple import sample_series
+from repro.errors import ValidationError
+from repro.sampling.simple import sample_indices, sample_series
 from repro.utils.rng import Seed, spawn_generators
 from repro.utils.validation import check_positive_int
 
 __all__ = ["TestPair", "generate_test_pairs"]
 
 
-@dataclass(frozen=True)
 class TestPair:
-    """One replication: a dirty sample ``Di`` and an ideal sample ``DiI``."""
+    """One replication: a dirty sample ``Di`` and an ideal sample ``DiI``.
 
-    index: int
-    dirty: StreamDataset
-    ideal: StreamDataset
+    Holds either layout of each side — per-series :class:`StreamDataset`,
+    columnar :class:`SampleBlock`, or both. Whichever is absent is derived on
+    first access (`dirty`/`ideal` materialise zero-copy views of the block),
+    and pickling prefers the block so process workers receive one contiguous
+    array per side.
+    """
+
+    __slots__ = ("index", "dirty_block", "ideal_block", "_dirty", "_ideal")
+
+    def __init__(
+        self,
+        index: int,
+        dirty: Optional[StreamDataset] = None,
+        ideal: Optional[StreamDataset] = None,
+        dirty_block: Optional[SampleBlock] = None,
+        ideal_block: Optional[SampleBlock] = None,
+    ):
+        if dirty is None and dirty_block is None:
+            raise ValidationError("TestPair needs dirty or dirty_block")
+        if ideal is None and ideal_block is None:
+            raise ValidationError("TestPair needs ideal or ideal_block")
+        self.index = int(index)
+        self.dirty_block = dirty_block
+        self.ideal_block = ideal_block
+        self._dirty = dirty
+        self._ideal = ideal
+
+    @property
+    def dirty(self) -> StreamDataset:
+        """The dirty sample ``Di`` (materialised from the block if needed)."""
+        if self._dirty is None:
+            self._dirty = StreamDataset.from_block(self.dirty_block)
+        return self._dirty
+
+    @property
+    def ideal(self) -> StreamDataset:
+        """The ideal sample ``DiI`` (materialised from the block if needed)."""
+        if self._ideal is None:
+            self._ideal = StreamDataset.from_block(self.ideal_block)
+        return self._ideal
+
+    def __getstate__(self):
+        # Ship one array per side when the block layout exists; the view
+        # data sets are rebuilt lazily on the receiving end.
+        return (
+            self.index,
+            self.dirty_block,
+            self.ideal_block,
+            None if self.dirty_block is not None else self._dirty,
+            None if self.ideal_block is not None else self._ideal,
+        )
+
+    def __setstate__(self, state) -> None:
+        self.index, self.dirty_block, self.ideal_block, self._dirty, self._ideal = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        layout = "block" if self.dirty_block is not None else "series"
+        return f"TestPair(index={self.index}, layout={layout})"
 
 
 def generate_test_pairs(
@@ -41,11 +105,25 @@ def generate_test_pairs(
     ``i`` is identical no matter how many replications are consumed — the
     property that makes sweeps over R reproducible. The paper notes "any
     value of R more than 30 is sufficient" and uses R = 50.
+
+    Uniform-length populations are converted to parent blocks once, and every
+    replication is then an index gather (``SampleBlock.take``) into them; the
+    index streams are the very same ``rng.integers`` draws the per-series
+    path consumes, so the sampled values are identical in either layout.
     """
     n_pairs = check_positive_int(n_pairs, "n_pairs")
     sample_size = check_positive_int(sample_size, "sample_size")
+    dirty_block = ideal_block = None
+    if block_fast_path_enabled():
+        dirty_block = dirty.try_to_block()
+        ideal_block = ideal.try_to_block()
     streams = spawn_generators(seed, n_pairs)
     for i, rng in enumerate(streams):
-        di = sample_series(dirty, sample_size, rng)
-        dii = sample_series(ideal, sample_size, rng)
-        yield TestPair(index=i, dirty=di, ideal=dii)
+        if dirty_block is not None and ideal_block is not None:
+            di = dirty_block.take(sample_indices(len(dirty), sample_size, rng))
+            dii = ideal_block.take(sample_indices(len(ideal), sample_size, rng))
+            yield TestPair(index=i, dirty_block=di, ideal_block=dii)
+        else:
+            di = sample_series(dirty, sample_size, rng)
+            dii = sample_series(ideal, sample_size, rng)
+            yield TestPair(index=i, dirty=di, ideal=dii)

@@ -1,0 +1,242 @@
+"""The columnar fast path's bitwise-identity contract.
+
+Every block-level operation must reproduce its per-series counterpart
+exactly — same bits, not approximately. These tests pin that contract for
+the detector suite, each registry strategy (plus the extension strategies
+and wrappers), and the full experiment loop across execution backends with
+the fast path on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cleaning.base import CleaningContext, IdentityStrategy
+from repro.cleaning.partial import PartialCleaner
+from repro.cleaning.registry import paper_strategies, strategy_by_name
+from repro.cleaning.remeasure import RemeasureStrategy
+from repro.core.distortion import statistical_distortion_batch
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
+from repro.core.framework import ExperimentConfig, ExperimentRunner
+from repro.core.glitch_index import (
+    GlitchWeights,
+    series_glitch_scores,
+    series_glitch_scores_block,
+)
+from repro.data.dataset import StreamDataset
+from repro.glitches.detectors import DetectorSuite, ScaleTransform
+from repro.sampling.replication import generate_test_pairs
+
+REGISTRY_NAMES = [f"strategy{i}" for i in range(1, 6)]
+
+
+@pytest.fixture(scope="module")
+def block_pair(tiny_bundle):
+    """One replication pair carrying both layouts."""
+    pair = next(
+        generate_test_pairs(tiny_bundle.dirty, tiny_bundle.ideal, 1, 14, seed=11)
+    )
+    assert pair.dirty_block is not None  # uniform-length population
+    return pair
+
+
+def _context(pair, log=True, seed=123):
+    return CleaningContext(
+        ideal=pair.ideal,
+        transform=ScaleTransform.log_attr1() if log else None,
+        seed=seed,
+        ideal_block=pair.ideal_block,
+    )
+
+
+def _assert_layouts_identical(dataset, block):
+    assert len(dataset) == block.n_series
+    for i, series in enumerate(dataset):
+        np.testing.assert_array_equal(series.values, block.values[i])
+
+
+class TestStrategyEquivalence:
+    """clean() and clean_block() are bitwise-identical under fixed seeds."""
+
+    @pytest.mark.parametrize("name", REGISTRY_NAMES)
+    @pytest.mark.parametrize("log", [True, False])
+    def test_registry_strategy(self, block_pair, name, log):
+        strategy = strategy_by_name(name)
+        treated_series = strategy.clean(
+            block_pair.dirty, _context(block_pair, log=log)
+        )
+        treated_block = strategy.clean_block(
+            block_pair.dirty_block, _context(block_pair, log=log)
+        )
+        assert treated_block is not None
+        _assert_layouts_identical(treated_series, treated_block)
+
+    @pytest.mark.parametrize(
+        "name", ["interpolate", "interpolate+winsorize", "regression"]
+    )
+    def test_extension_strategies(self, block_pair, name):
+        strategy = strategy_by_name(name)
+        treated_series = strategy.clean(block_pair.dirty, _context(block_pair))
+        treated_block = strategy.clean_block(
+            block_pair.dirty_block, _context(block_pair)
+        )
+        assert treated_block is not None
+        _assert_layouts_identical(treated_series, treated_block)
+
+    def test_identity_strategy(self, block_pair):
+        strategy = IdentityStrategy()
+        treated_block = strategy.clean_block(
+            block_pair.dirty_block, _context(block_pair)
+        )
+        _assert_layouts_identical(
+            strategy.clean(block_pair.dirty, _context(block_pair)), treated_block
+        )
+
+    @pytest.mark.parametrize("coverage", [1.0, 0.4])
+    def test_remeasure(self, block_pair, coverage):
+        strategy = RemeasureStrategy(coverage=coverage, include_outliers=True)
+        treated_series = strategy.clean(block_pair.dirty, _context(block_pair))
+        treated_block = strategy.clean_block(
+            block_pair.dirty_block, _context(block_pair)
+        )
+        _assert_layouts_identical(treated_series, treated_block)
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+    def test_partial_cleaner(self, block_pair, fraction):
+        strategy = PartialCleaner(strategy_by_name("strategy4"), fraction=fraction)
+        treated_series = strategy.clean(block_pair.dirty, _context(block_pair))
+        treated_block = strategy.clean_block(
+            block_pair.dirty_block, _context(block_pair)
+        )
+        assert treated_block is not None
+        _assert_layouts_identical(treated_series, treated_block)
+        assert strategy.cost_fraction == fraction
+
+
+class TestLegacyConstraintCompat:
+    def test_evaluate_only_subclass_works_on_blocks(self, block_pair):
+        from repro.glitches.constraints import Constraint, ConstraintSet
+
+        class LegacyNegativeAttr2(Constraint):
+            """Implements only the original per-series contract."""
+
+            def evaluate(self, series):
+                mask = np.zeros(series.values.shape, dtype=bool)
+                col = series.values[:, 1]
+                with np.errstate(invalid="ignore"):
+                    mask[:, 1] = np.isfinite(col) & (col < 0)
+                return mask
+
+            def describe(self):
+                return "attr2 >= 0 (legacy)"
+
+        constraint_set = ConstraintSet([LegacyNegativeAttr2()])
+        block = block_pair.dirty_block
+        block_mask = constraint_set.evaluate_values(block.values, block.attributes)
+        for i, series in enumerate(block_pair.dirty):
+            np.testing.assert_array_equal(
+                constraint_set.evaluate(series), block_mask[i]
+            )
+
+
+class TestAnnotationEquivalence:
+    def test_annotate_block_matches_annotate_dataset(self, block_pair):
+        suite = DetectorSuite.from_ideal(
+            block_pair.ideal, transform=ScaleTransform.log_attr1()
+        )
+        per_series = suite.annotate_dataset(block_pair.dirty)
+        block = suite.annotate_block(block_pair.dirty_block)
+        assert len(per_series) == block.n_series
+        for i, matrix in enumerate(per_series):
+            np.testing.assert_array_equal(matrix.bits, block.bits[i])
+        assert per_series.record_fractions() == block.record_fractions()
+
+    def test_block_scores_match_series_scores(self, block_pair):
+        suite = DetectorSuite.from_ideal(block_pair.ideal)
+        weights = GlitchWeights()
+        expected = series_glitch_scores(
+            suite.annotate_dataset(block_pair.dirty), weights
+        )
+        got = series_glitch_scores_block(
+            suite.annotate_block(block_pair.dirty_block), weights
+        )
+        np.testing.assert_array_equal(expected, got)
+
+
+class TestDistortionEquivalence:
+    def test_block_columns_match_per_series_pooling(self, block_pair):
+        context = _context(block_pair)
+        strategies = [strategy_by_name(n) for n in REGISTRY_NAMES]
+        treated_blocks = [
+            s.clean_block(block_pair.dirty_block, context) for s in strategies
+        ]
+        treated_sets = [StreamDataset.from_block(b) for b in treated_blocks]
+        transform = ScaleTransform.log_attr1()
+        from_blocks = statistical_distortion_batch(
+            block_pair.dirty_block, treated_blocks, transform=transform
+        )
+        from_series = statistical_distortion_batch(
+            block_pair.dirty, treated_sets, transform=transform
+        )
+        assert from_blocks == from_series
+
+
+class TestFullRunEquivalence:
+    """Outcome lists are bitwise-identical: block on/off x all backends."""
+
+    @staticmethod
+    def _keys(result):
+        return [
+            (
+                o.strategy,
+                o.replication,
+                o.improvement,
+                o.distortion,
+                o.glitch_index_dirty,
+                o.glitch_index_treated,
+                o.cost_fraction,
+                tuple(sorted((g.name, v) for g, v in o.dirty_fractions.items())),
+                tuple(sorted((g.name, v) for g, v in o.treated_fractions.items())),
+            )
+            for o in result.outcomes
+        ]
+
+    def test_block_vs_loop_across_backends(self, tiny_bundle, monkeypatch):
+        cfg = ExperimentConfig(n_replications=2, sample_size=10, seed=3)
+        backends = {
+            "serial": SerialBackend,
+            "thread": lambda: ThreadBackend(2),
+            "process": lambda: ProcessBackend(2),
+        }
+        monkeypatch.setenv("REPRO_BLOCK", "0")
+        reference = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=cfg
+        ).run(paper_strategies())
+        reference_keys = self._keys(reference)
+        for use_block in ("0", "1"):
+            monkeypatch.setenv("REPRO_BLOCK", use_block)
+            for name, factory in backends.items():
+                result = ExperimentRunner(
+                    tiny_bundle.dirty,
+                    tiny_bundle.ideal,
+                    config=cfg,
+                    backend=factory(),
+                ).run(paper_strategies())
+                assert self._keys(result) == reference_keys, (
+                    f"outcomes diverged: REPRO_BLOCK={use_block}, backend={name}"
+                )
+
+    def test_fast_path_engages_by_default(self, tiny_bundle, monkeypatch):
+        monkeypatch.delenv("REPRO_BLOCK", raising=False)
+        pair = next(
+            generate_test_pairs(tiny_bundle.dirty, tiny_bundle.ideal, 1, 5, seed=0)
+        )
+        assert pair.dirty_block is not None
+        assert pair.ideal_block is not None
+
+    def test_fallback_disables_block_sampling(self, tiny_bundle, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCK", "0")
+        pair = next(
+            generate_test_pairs(tiny_bundle.dirty, tiny_bundle.ideal, 1, 5, seed=0)
+        )
+        assert pair.dirty_block is None
+        assert len(pair.dirty) == 5
