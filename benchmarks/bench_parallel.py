@@ -8,6 +8,14 @@ machine with W free cores the process backend approaches W× on the
 replication loop; on a single-core box the table will honestly show ~1× and
 the identity check still exercises the parallel path end to end.
 
+Small replication counts are where the PR 3 bench recorded a process-backend
+*slowdown* (0.77×): pool start-up and pickling dominated ~10 work units.
+The backend now falls back to the serial loop below its ``min_units``
+threshold (see ``ProcessBackend``), so the small-scale process number is the
+serial number — never worse — while large runs still fan out. Timings are
+best-of-``ROUNDS`` after a warm-up so the recorded ratio reflects steady
+state, not allocator noise.
+
 Run:  REPRO_SCALE=small PYTHONPATH=src python -m pytest -q -s benchmarks/bench_parallel.py
 """
 
@@ -25,6 +33,9 @@ from bench_utils import print_speedup_table, record_bench, run_once
 #: inside the backends' ``map``).
 N_WORKERS = 4
 
+#: Best-of rounds per backend — enough to iron out timer noise at small scale.
+ROUNDS = 3
+
 
 def _run(bundle, config, backend):
     runner = ExperimentRunner(
@@ -33,7 +44,7 @@ def _run(bundle, config, backend):
     return runner.run(paper_strategies())
 
 
-def _timed(bundle, config, backend):
+def _timed_once(bundle, config, backend):
     start = time.perf_counter()
     result = _run(bundle, config, backend)
     return result, time.perf_counter() - start
@@ -52,12 +63,26 @@ def _outcome_key(o):
 
 
 def test_parallel_speedup(benchmark, bundle, config):
-    serial_result, serial_s = _timed(bundle, config, SerialBackend())
-    thread_result, thread_s = _timed(bundle, config, ThreadBackend(N_WORKERS))
-    process_result = run_once(
-        benchmark, lambda: _run(bundle, config, ProcessBackend(N_WORKERS))
-    )
+    _run(bundle, config, SerialBackend())  # warm-up (imports, allocator, BLAS)
+    backend = ProcessBackend(N_WORKERS)
+    process_result = run_once(benchmark, lambda: _run(bundle, config, backend))
     process_s = benchmark.stats.stats.total
+    # Interleave the remaining serial/process rounds so scheduler drift on a
+    # shared box hits both sides equally; record the best of each.
+    serial_s = float("inf")
+    serial_result = None
+    for _ in range(ROUNDS):
+        serial_result, t = _timed_once(bundle, config, SerialBackend())
+        serial_s = min(serial_s, t)
+        _, t = _timed_once(bundle, config, backend)
+        process_s = min(process_s, t)
+    # Thread timing gets the same warm best-of treatment as the other two
+    # backends so the printed comparison is not biased against it.
+    thread_s = float("inf")
+    thread_result = None
+    for _ in range(ROUNDS):
+        thread_result, t = _timed_once(bundle, config, ThreadBackend(N_WORKERS))
+        thread_s = min(thread_s, t)
 
     # The determinism contract: every backend replays the exact same
     # floating-point computation — not approximately, identically.
@@ -66,12 +91,18 @@ def test_parallel_speedup(benchmark, bundle, config):
         [_outcome_key(o) for o in thread_result.outcomes] == serial_keys
         and [_outcome_key(o) for o in process_result.outcomes] == serial_keys
     )
+    fell_back = config.n_replications < backend.resolved_min_units()
     record_bench(
         "bench_parallel",
         wall_s=process_s,
-        speedup=serial_s / process_s,
+        # Two-decimal reporting precision: under the serial fallback the two
+        # sides run the same code and the true ratio is 1.0 by construction;
+        # finer digits would only record scheduler noise.
+        speedup=round(serial_s / process_s, 2),
         identity_ok=identity_ok,
         serial_wall_s=round(serial_s, 4),
+        serial_fallback=fell_back,
+        timing="warm_min_of_interleaved",
     )
     assert identity_ok
 

@@ -5,7 +5,7 @@ module name ``conftest`` (with both ``tests/`` and ``benchmarks/`` on
 ``sys.path`` in a whole-repo pytest run, that name resolves to whichever
 directory was collected first).
 
-Every bench records its headline numbers into ``BENCH_PR3.json`` (override
+Every bench records its headline numbers into ``BENCH_PR4.json`` (override
 the location with ``REPRO_BENCH_JSON``) as ``name -> {wall_s, speedup,
 identity_ok}`` so the perf trajectory is machine-readable across PRs; the CI
 bench smoke prints and uploads the file on every push.
@@ -31,7 +31,7 @@ __all__ = [
 
 def bench_results_path() -> Path:
     """Where bench results accumulate (``REPRO_BENCH_JSON`` overrides)."""
-    return Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_PR3.json"))
+    return Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_PR4.json"))
 
 
 def record_bench(
@@ -70,6 +70,18 @@ def record_bench(
 def run_once(benchmark, fn):
     """Run *fn* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_best_of(benchmark, fn, rounds=3):
+    """Run *fn* ``rounds`` times (after one untimed warm-up) under
+    pytest-benchmark timing.
+
+    Record ``benchmark.stats.stats.min`` afterwards: the recorded walls are
+    compared across PRs, and a warm best-of estimate keeps cold caches and
+    scheduler noise on a shared box from masquerading as a regression
+    (single-shot timings on this workload vary by ±5-10%).
+    """
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1, warmup_rounds=1)
 
 
 def print_speedup_table(

@@ -58,6 +58,9 @@ from repro.core import (
     ShardedStage,
     StrategyOutcome,
     StrategySummary,
+    StreamingDistortion,
+    StreamingExperiment,
+    StreamingResult,
     ThreadBackend,
     cost_sweep,
     glitch_improvement,
@@ -65,8 +68,11 @@ from repro.core import (
     knee_point,
     pareto_front,
     resolve_backend,
+    run_streaming_experiment,
     statistical_distortion,
     statistical_distortion_batch,
+    statistical_distortion_stream,
+    streaming_enabled,
     summarize_outcomes,
     tradeoff_points,
     viable_strategies,
@@ -79,6 +85,7 @@ from repro.data import (
     NetworkTopology,
     NodeId,
     SampleBlock,
+    SlabFeed,
     StreamDataset,
     TimeSeries,
 )
@@ -105,6 +112,7 @@ from repro.experiments import (
     render_counts_series,
     render_strategy_summaries,
     render_table1,
+    run_experiment,
     run_figure6,
     run_figure7,
     run_table1,

@@ -5,7 +5,12 @@ along those axes.
 """
 
 from repro.core.cost import CostSweepResult, cost_sweep
-from repro.core.distortion import statistical_distortion, statistical_distortion_batch
+from repro.core.distortion import (
+    StreamingDistortion,
+    statistical_distortion,
+    statistical_distortion_batch,
+    statistical_distortion_stream,
+)
 from repro.core.evaluation import (
     StrategyOutcome,
     StrategySummary,
@@ -24,6 +29,7 @@ from repro.core.framework import (
     ExperimentResult,
     ExperimentRunner,
     evaluate_pair_outcomes,
+    run_pair_stream,
 )
 from repro.core.glitch_index import (
     GlitchWeights,
@@ -37,6 +43,12 @@ from repro.core.pipeline import (
     ShardedStage,
     build_shards,
     plan_shards,
+)
+from repro.core.streaming import (
+    StreamingExperiment,
+    StreamingResult,
+    run_streaming_experiment,
+    streaming_enabled,
 )
 from repro.core.tradeoff import (
     TradeoffPoint,
@@ -53,10 +65,17 @@ __all__ = [
     "series_glitch_scores",
     "statistical_distortion",
     "statistical_distortion_batch",
+    "statistical_distortion_stream",
+    "StreamingDistortion",
     "ExperimentConfig",
     "ExperimentRunner",
     "ExperimentResult",
     "evaluate_pair_outcomes",
+    "run_pair_stream",
+    "StreamingExperiment",
+    "StreamingResult",
+    "run_streaming_experiment",
+    "streaming_enabled",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

@@ -9,18 +9,23 @@ respect to the ideal", Section 1.1), pooling every time instant as one
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
-from repro.distance.emd import EarthMoverDistance
+from repro.distance.emd import EarthMoverDistance, emd_between_histograms_batch
 from repro.errors import DistanceError
 from repro.glitches.detectors import ScaleTransform
 
-__all__ = ["statistical_distortion", "statistical_distortion_batch"]
+__all__ = [
+    "statistical_distortion",
+    "statistical_distortion_batch",
+    "StreamingDistortion",
+    "statistical_distortion_stream",
+]
 
 #: Either layout of one replication sample.
 Sample = Union[StreamDataset, SampleBlock]
@@ -110,3 +115,202 @@ def statistical_distortion_batch(
     if p.shape[0] == 0 or any(q.shape[0] == 0 for q in qs):
         raise DistanceError("no complete records to compare")
     return [float(d) for d in distance.pairwise(p, qs)]
+
+
+class StreamingDistortion:
+    """One-pass, out-of-core distortion of many candidates against one
+    reference.
+
+    The pooled-sample form above materialises every side as an ``(N, v)``
+    array; at population scale that is exactly the "store all the data" the
+    paper's stream setting rules out. This accumulator never pools anything:
+
+    1. ``observe_reference`` folds reference slabs into a tiny *sketch* —
+       running sum/sum-of-squares for the standardisation frame and exact
+       running min/max for the support bounds;
+    2. ``freeze_grid`` turns the sketch into a shared
+       :class:`~repro.distance.histogram.HistogramGrid` (uniform edges only —
+       quantile edges need the pooled sample by definition);
+    3. ``observe`` folds ``(reference_slab, candidate_slabs)`` pairs into
+       mergeable integer bin counts — the single pass over the candidate
+       data;
+    4. ``finalize`` cancels the bin-for-bin shared mass and solves the
+       residual transport problem **once**, batched across the whole panel.
+
+    Count folding on the frozen grid is bitwise-exact (integer counts,
+    elementwise bin assignment — the property ``tests`` pin down). Two
+    deliberate approximations separate the result from the pooled path:
+    the frame is a streamed moment estimate (ulp-level accumulation error),
+    and the grid spans the *reference* support only — the pooled path's
+    grid spans the union of reference and candidates, so candidate mass
+    outside the reference range clips into the boundary bins here. When
+    candidates can move mass beyond the reference range (imputation past
+    the observed maximum, say), pass ``support_margin`` to
+    :meth:`freeze_grid` to buy headroom; within-support streams agree with
+    the pooled path exactly up to the frame ulps.
+
+    Parameters
+    ----------
+    n_candidates:
+        Number of treated candidates scored against the reference.
+    distance:
+        An :class:`~repro.distance.emd.EarthMoverDistance` (its binner
+        supplies ``n_bins`` and must use uniform binning — the default).
+    transform:
+        Optional analysis-scale transform applied slab-wise (elementwise, so
+        slab application matches whole-population application exactly).
+    """
+
+    def __init__(
+        self,
+        n_candidates: int,
+        distance: Optional[EarthMoverDistance] = None,
+        transform: Optional[ScaleTransform] = None,
+    ):
+        if n_candidates < 1:
+            raise DistanceError("need at least one candidate")
+        self.distance = distance or EarthMoverDistance()
+        binner = getattr(self.distance, "binner", None)
+        if binner is None or binner.binning != "uniform":
+            raise DistanceError(
+                "StreamingDistortion needs a histogram-based distance with "
+                "uniform binning"
+            )
+        self.transform = transform
+        self.n_candidates = n_candidates
+        self._dim: Optional[int] = None
+        self._count = 0
+        self._sum: Optional[np.ndarray] = None
+        self._sumsq: Optional[np.ndarray] = None
+        self._mins: Optional[np.ndarray] = None
+        self._maxs: Optional[np.ndarray] = None
+        self._grid = None
+        self._accumulators = None
+
+    # -- pass 1: the reference sketch ------------------------------------------
+
+    def _rows(self, sample) -> np.ndarray:
+        if isinstance(sample, np.ndarray):
+            # Raw pooled rows: apply the transform columnwise only if the
+            # caller didn't — arrays are taken as already analysis-scale.
+            rows = np.asarray(sample, dtype=float)
+            if rows.ndim != 2:
+                raise DistanceError(f"slab rows must be (N, d), got {rows.shape}")
+            return rows[~np.isnan(rows).any(axis=1)]
+        return _pooled_analysis(sample, self.transform)
+
+    def observe_reference(self, sample: Sample) -> None:
+        """Fold one reference slab into the frame/support sketch."""
+        if self._grid is not None:
+            raise DistanceError("grid already frozen; no more reference slabs")
+        rows = self._rows(sample)
+        if rows.shape[0] == 0:
+            return
+        if self._dim is None:
+            self._dim = rows.shape[1]
+            self._sum = np.zeros(self._dim)
+            self._sumsq = np.zeros(self._dim)
+            self._mins = np.full(self._dim, np.inf)
+            self._maxs = np.full(self._dim, -np.inf)
+        elif rows.shape[1] != self._dim:
+            raise DistanceError(
+                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
+            )
+        self._count += rows.shape[0]
+        self._sum += rows.sum(axis=0)
+        self._sumsq += (rows * rows).sum(axis=0)
+        self._mins = np.minimum(self._mins, rows.min(axis=0))
+        self._maxs = np.maximum(self._maxs, rows.max(axis=0))
+
+    def freeze_grid(self, support_margin: float = 0.0) -> None:
+        """Fix the shared grid from the accumulated reference sketch.
+
+        ``support_margin`` widens the standardised support symmetrically by
+        the given fraction of its width — headroom for candidates whose mass
+        moves outside the reference range (out-of-range rows otherwise clip
+        into the boundary bins, the usual sketch trade).
+        """
+        if self._grid is not None:
+            return
+        if self._count == 0:
+            raise DistanceError("no reference rows observed")
+        binner = self.distance.binner
+        if binner.standardize:
+            mean = self._sum / self._count
+            var = self._sumsq / self._count - mean * mean
+            scale = np.sqrt(np.maximum(var, 0.0))
+            scale = np.where(scale > 0, scale, 1.0)
+            shift = mean
+        else:
+            shift = np.zeros(self._dim)
+            scale = np.ones(self._dim)
+        mins = (self._mins - shift) / scale
+        maxs = (self._maxs - shift) / scale
+        if support_margin:
+            widths = maxs - mins
+            mins = mins - support_margin * widths
+            maxs = maxs + support_margin * widths
+        self._grid = binner.grid_from_stats(shift, scale, mins, maxs)
+        self._accumulators = [
+            self._grid.accumulator() for _ in range(self.n_candidates + 1)
+        ]
+
+    @property
+    def grid(self):
+        """The frozen shared grid (``None`` before :meth:`freeze_grid`)."""
+        return self._grid
+
+    # -- pass 2: the one pass over candidate slabs ------------------------------
+
+    def observe(self, reference_slab: Sample, candidate_slabs: Sequence[Sample]) -> None:
+        """Fold one aligned slab of the reference and every candidate."""
+        if self._grid is None:
+            self.freeze_grid()
+        if len(candidate_slabs) != self.n_candidates:
+            raise DistanceError(
+                f"expected {self.n_candidates} candidate slabs, "
+                f"got {len(candidate_slabs)}"
+            )
+        self._accumulators[0].add(self._rows(reference_slab))
+        for acc, slab in zip(self._accumulators[1:], candidate_slabs):
+            acc.add(self._rows(slab))
+
+    def finalize(self) -> list[float]:
+        """Panel distortions: residual-transport EMD solved once at the end."""
+        if self._grid is None or self._accumulators[0].total == 0:
+            raise DistanceError("no slabs observed")
+        hp = self._accumulators[0].finalize()
+        hqs = [acc.finalize() for acc in self._accumulators[1:]]
+        return emd_between_histograms_batch(
+            hp, hqs, backend=self.distance.backend
+        )
+
+
+def statistical_distortion_stream(
+    reference_slabs: Iterable[Sample],
+    paired_slabs: Iterable[tuple[Sample, Sequence[Sample]]],
+    n_candidates: int,
+    distance: Optional[EarthMoverDistance] = None,
+    transform: Optional[ScaleTransform] = None,
+    support_margin: float = 0.0,
+) -> list[float]:
+    """Distortion of ``n_candidates`` treated streams against a reference
+    stream, without pooling either side.
+
+    ``reference_slabs`` drives the cheap frame/support sketch pre-pass;
+    ``paired_slabs`` yields ``(reference_slab, [candidate_slab, ...])``
+    tuples and is consumed exactly once — the single pass over the treated
+    data. ``support_margin`` is forwarded to
+    :meth:`StreamingDistortion.freeze_grid` — headroom for candidate mass
+    outside the reference support. See :class:`StreamingDistortion` for the
+    accumulation contract.
+    """
+    stream = StreamingDistortion(
+        n_candidates, distance=distance, transform=transform
+    )
+    for slab in reference_slabs:
+        stream.observe_reference(slab)
+    stream.freeze_grid(support_margin=support_margin)
+    for reference_slab, candidates in paired_slabs:
+        stream.observe(reference_slab, candidates)
+    return stream.finalize()

@@ -33,6 +33,7 @@ from repro.utils.validation import check_positive_int
 
 __all__ = [
     "BACKEND_NAMES",
+    "MIN_UNITS_ENV_VAR",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",
@@ -128,6 +129,21 @@ class ThreadBackend:
         return f"ThreadBackend(n_workers={self.n_workers})"
 
 
+#: Environment variable overriding :class:`ProcessBackend`'s serial-fallback
+#: threshold (an item count; ``0``/``1`` disable the fallback entirely).
+MIN_UNITS_ENV_VAR = "REPRO_PROCESS_MIN_UNITS"
+
+#: Default fallback threshold: below this many items, pool start-up and
+#: per-unit pickling dominate the work itself and a plain serial loop wins
+#: (the ~10-unit small-scale regression recorded in the PR 3 bench), so the
+#: backend degrades to the serial reference — which is bitwise-identical by
+#: the backend contract, so the fallback can never change a number. The
+#: constant is deliberately absolute, not per-worker: scaling it with the
+#: worker count would make *more* cores *more* likely to silently serialise
+#: a typical R=50 replication run.
+_DEFAULT_MIN_UNITS = 16
+
+
 class ProcessBackend:
     """Chunked :mod:`multiprocessing` pool evaluation.
 
@@ -147,6 +163,12 @@ class ProcessBackend:
     start_method:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``/...);
         ``None`` uses the platform default.
+    min_units:
+        Smallest item count worth starting a pool for. Below it the map
+        degrades to the serial in-process loop (identical numbers, none of
+        the fork/pickle overhead). ``None`` defers to the
+        ``REPRO_PROCESS_MIN_UNITS`` environment variable and then to a
+        flat default of 16; pass ``1`` to always use the pool.
     """
 
     name = "process"
@@ -156,6 +178,7 @@ class ProcessBackend:
         n_workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         start_method: Optional[str] = None,
+        min_units: Optional[int] = None,
     ):
         self.n_workers = (
             check_positive_int(n_workers, "n_workers")
@@ -166,14 +189,37 @@ class ProcessBackend:
             check_positive_int(chunksize, "chunksize") if chunksize is not None else None
         )
         self.start_method = start_method
+        self.min_units = (
+            check_positive_int(min_units, "min_units") if min_units is not None else None
+        )
+
+    def resolved_min_units(self) -> int:
+        """The serial-fallback threshold this backend will apply."""
+        if self.min_units is not None:
+            return self.min_units
+        env = os.environ.get(MIN_UNITS_ENV_VAR, "").strip()
+        if env:
+            try:
+                value = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{MIN_UNITS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+            return max(1, value)
+        return _DEFAULT_MIN_UNITS
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Evaluate items through a process pool, preserving order."""
+        """Evaluate items through a process pool, preserving order.
+
+        Item counts below :meth:`resolved_min_units` run as a plain serial
+        loop: the work function is pure, so the fallback is bitwise-identical
+        and only the pool start-up / pickling overhead disappears.
+        """
         import multiprocessing as mp
 
         items = list(items)
         workers = min(self.n_workers, len(items))
-        if workers <= 1:
+        if workers <= 1 or len(items) < self.resolved_min_units():
             return [fn(item) for item in items]
         ctx = mp.get_context(self.start_method)
         chunksize = self.chunksize or max(1, math.ceil(len(items) / workers))

@@ -54,6 +54,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "evaluate_pair_outcomes",
+    "run_pair_stream",
 ]
 
 
@@ -72,6 +73,13 @@ class ExperimentConfig:
     environment variable and falls back to serial. The backend never changes
     the numbers — only the wall clock. ``n_workers`` sizes worker-aware
     backends (default: all available CPUs).
+
+    ``streaming`` selects the out-of-core slab engine
+    (:mod:`repro.core.streaming`) for drivers that support both paths:
+    ``True``/``False`` pin it, ``None`` defers to the ``REPRO_STREAM``
+    environment variable and falls back to the in-memory path. Like the
+    backend, streaming is a pure execution choice — the streamed experiment
+    is bitwise-identical to the materialised one.
     """
 
     n_replications: int = 50
@@ -81,6 +89,7 @@ class ExperimentConfig:
     seed: Seed = 0
     backend: Optional[str] = None
     n_workers: Optional[int] = None
+    streaming: Optional[bool] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_replications, "n_replications")
@@ -91,6 +100,10 @@ class ExperimentConfig:
             parse_backend_spec(self.backend)
         if self.n_workers is not None:
             check_positive_int(self.n_workers, "n_workers")
+        if self.streaming is not None and not isinstance(self.streaming, bool):
+            raise ExperimentError(
+                f"streaming must be None or a bool, got {self.streaming!r}"
+            )
 
     @property
     def transform(self) -> Optional[ScaleTransform]:
@@ -296,6 +309,58 @@ def _evaluate_work_unit(spec: _RunSpec, unit: tuple) -> list[StrategyOutcome]:
     )
 
 
+def run_pair_stream(
+    pairs,
+    strategies: Sequence[CleaningStrategy],
+    config: ExperimentConfig,
+    distance: Optional[Distance] = None,
+    weights: Optional[GlitchWeights] = None,
+    constraints: Optional[ConstraintSet] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
+) -> ExperimentResult:
+    """Evaluate all strategies over an already-drawn stream of test pairs.
+
+    The evaluation half of :meth:`ExperimentRunner.run`, factored out so
+    pair *producers* are pluggable: the runner feeds it pairs sampled from
+    materialised populations, the streaming slab engine feeds it pairs
+    gathered from a bounded parent subset — the per-replication strategy
+    seed streams, work-unit layout and backend fan-out are shared, which is
+    what keeps the two paths' outcomes bitwise-identical.
+
+    *pairs* must yield ``config.n_replications`` pairs in replication order;
+    the serial backend consumes the stream lazily (one pair in memory at a
+    time), parallel backends materialise it to dispatch.
+    """
+    if not strategies:
+        raise ExperimentError("need at least one strategy")
+    names = [s.name for s in strategies]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"duplicate strategy names: {names}")
+    # Independent per-replication streams for the stochastic treatments.
+    strategy_seeds = spawn_generators(
+        config.seed if not isinstance(config.seed, int) else config.seed + 1,
+        config.n_replications,
+    )
+    spec = _RunSpec(
+        config=config,
+        strategies=tuple(strategies),
+        distance=distance or EarthMoverDistance(),
+        weights=weights or GlitchWeights(),
+        constraints=constraints if constraints is not None else paper_constraints(),
+    )
+    resolved = resolve_backend(
+        backend if backend is not None else config.backend,
+        n_workers=config.n_workers,
+    )
+    batches = resolved.map(
+        partial(_evaluate_work_unit, spec), zip(pairs, strategy_seeds)
+    )
+    result = ExperimentResult(config=config)
+    for batch in batches:
+        result.outcomes.extend(batch)
+    return result
+
+
 class ExperimentRunner:
     """Evaluates cleaning strategies on replication pairs.
 
@@ -379,11 +444,6 @@ class ExperimentRunner:
         backends preserve order, the outcome list is identical for serial,
         threaded and multi-process execution.
         """
-        if not strategies:
-            raise ExperimentError("need at least one strategy")
-        names = [s.name for s in strategies]
-        if len(set(names)) != len(names):
-            raise ExperimentError(f"duplicate strategy names: {names}")
         cfg = self.config
         pair_stream = generate_test_pairs(
             self.dirty,
@@ -392,23 +452,12 @@ class ExperimentRunner:
             sample_size=cfg.sample_size,
             seed=cfg.seed,
         )
-        # Independent per-replication streams for the stochastic treatments.
-        strategy_seeds = spawn_generators(
-            cfg.seed if not isinstance(cfg.seed, int) else cfg.seed + 1,
-            cfg.n_replications,
-        )
-        spec = _RunSpec(
+        return run_pair_stream(
+            pair_stream,
+            strategies,
             config=cfg,
-            strategies=tuple(strategies),
             distance=self.distance,
             weights=self.weights,
             constraints=self.constraints,
+            backend=self.resolve_backend(),
         )
-        backend = self.resolve_backend()
-        batches = backend.map(
-            partial(_evaluate_work_unit, spec), zip(pair_stream, strategy_seeds)
-        )
-        result = ExperimentResult(config=cfg)
-        for batch in batches:
-            result.outcomes.extend(batch)
-        return result

@@ -37,7 +37,9 @@ from typing import Callable, Generic, Optional, Sequence, TypeVar
 import numpy as np
 
 from repro.core.executor import (
+    MIN_UNITS_ENV_VAR,
     ExecutionBackend,
+    ProcessBackend,
     default_worker_count,
     resolve_backend,
 )
@@ -92,6 +94,32 @@ class ShardSpec:
     def n_items(self) -> int:
         """Number of items in the shard."""
         return self.stop - self.start
+
+
+def _exempt_from_small_batch_fallback(backend: ExecutionBackend) -> ExecutionBackend:
+    """Disable the process backend's small-batch serial fallback for stages.
+
+    The fallback threshold exists for streams of *cheap* work units (the
+    replication loop's ~10-unit small-scale runs, where pool start-up
+    dominates). Sharded stages are the opposite regime by construction:
+    a handful of *coarse* shards, each seconds of generation/injection
+    work, where the pool pays for itself — an item-count heuristic would
+    silently serialise exactly the workload this module parallelises. An
+    explicitly configured threshold (constructor ``min_units`` or the
+    ``REPRO_PROCESS_MIN_UNITS`` variable) is respected as given.
+    """
+    if (
+        type(backend) is ProcessBackend
+        and backend.min_units is None
+        and not os.environ.get(MIN_UNITS_ENV_VAR, "").strip()
+    ):
+        return ProcessBackend(
+            n_workers=backend.n_workers,
+            chunksize=backend.chunksize,
+            start_method=backend.start_method,
+            min_units=1,
+        )
+    return backend
 
 
 def _resolve_shard_size(n_items: int, shard_size: Optional[int]) -> int:
@@ -219,7 +247,9 @@ class Pipeline:
         n_workers: Optional[int] = None,
         shard_size: Optional[int] = None,
     ):
-        self.backend: ExecutionBackend = resolve_backend(backend, n_workers=n_workers)
+        self.backend: ExecutionBackend = _exempt_from_small_batch_fallback(
+            resolve_backend(backend, n_workers=n_workers)
+        )
         self.shard_size = (
             check_positive_int(shard_size, "shard_size")
             if shard_size is not None

@@ -1,0 +1,637 @@
+"""The streaming slab engine — the full experiment, out of core.
+
+The materialised path builds one :class:`PopulationBundle` (every series,
+ledger and mask in memory at once) and samples replications out of whole
+parent blocks. This module runs the *same* experiment — generate → inject →
+identify_ideal → sample replications → clean → score — over bounded
+:mod:`slab <repro.data.slab>` passes instead, so peak memory is O(one shard)
+plus O(what the replications actually touch), never O(population):
+
+* the **fixed-point split** (Section 2.1.2's ideal-set identification)
+  re-streams the spilled shards once per round: cleanliness verdicts come
+  back as a few floats per series, and the 3-sigma fit pools one
+  attribute's ideal column at a time;
+* **replication sampling** draws the exact per-replication index streams of
+  :func:`~repro.sampling.replication.replication_index_streams` first, and
+  then gathers only the union of touched series — at most ``2 x R x B``
+  distinct of them, independent of the population size — into a
+  :class:`~repro.sampling.replication.ParentGather`;
+* optional **bottom-k / priority sketches** (weights = per-series glitch
+  scores) are built shard by shard and unioned, summarising the dirty
+  population's glitch mass without ever holding it.
+
+The engine is contractually **bitwise-identical** to the in-memory path:
+every per-series random stream is pre-spawned by index (the PR 2 contract),
+the sigma fit replays the exact pooled-column arithmetic, and the gathered
+parents replay the exact parent-block gathers — ``tests/test_streaming.py``
+pins outcome equality across the serial, thread and process backends.
+Select the engine with ``ExperimentConfig(streaming=True)`` or
+``REPRO_STREAM=1`` (see :func:`streaming_enabled`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import partial
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cleaning.base import CleaningStrategy
+from repro.core.executor import resolve_backend
+from repro.core.framework import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_pair_stream,
+)
+from repro.core.glitch_index import GlitchWeights, series_glitch_score
+from repro.data.generator import GeneratorConfig
+from repro.data.glitch_injection import GlitchInjectionConfig
+from repro.data.slab import SlabFeed, SlabSource, load_slab
+from repro.data.stream import TimeSeries
+from repro.distance.base import Distance
+from repro.errors import ValidationError
+from repro.glitches.constraints import ConstraintSet, paper_constraints
+from repro.glitches.detectors import (
+    DetectorSuite,
+    ScaleTransform,
+    SigmaLimits,
+    SigmaOutlierDetector,
+)
+from repro.glitches.missing import detect_missing
+from repro.sampling.bottom_k import BottomKSketch, indexed_ranks, union_sketches
+from repro.sampling.priority import PrioritySample, priority_sample_indexed
+from repro.sampling.replication import (
+    ParentGather,
+    TestPair,
+    replication_index_streams,
+)
+from repro.stats.descriptive import sigma_limits
+from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "STREAM_ENV_VAR",
+    "streaming_enabled",
+    "StreamingExperiment",
+    "StreamingResult",
+    "run_streaming_experiment",
+]
+
+#: Environment variable selecting the streaming engine (``1``/``on`` enable).
+STREAM_ENV_VAR = "REPRO_STREAM"
+
+
+def streaming_enabled(config: Optional[ExperimentConfig] = None) -> bool:
+    """Whether the streaming slab engine is selected.
+
+    An explicit ``ExperimentConfig(streaming=...)`` wins; ``None`` defers to
+    the ``REPRO_STREAM`` environment variable; the default is the in-memory
+    path. Either choice computes identical numbers — streaming changes the
+    memory profile, never the outcomes.
+    """
+    if config is not None and config.streaming is not None:
+        return bool(config.streaming)
+    return os.environ.get(STREAM_ENV_VAR, "").strip().lower() in ("1", "on", "true", "yes")
+
+
+# ---------------------------------------------------------------------------
+# Per-shard work units (module-level and frozen: they ship to process pools)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ProfileSpec:
+    """Round-0 pass: spill + the suite-independent cleanliness fractions."""
+
+    constraints: ConstraintSet
+
+
+def _profile_slab(spec: _ProfileSpec, source: SlabSource) -> tuple[np.ndarray, np.ndarray]:
+    """Per-series record-level missing/inconsistent fractions of one shard.
+
+    These two rates never depend on the fitted detector, so they are
+    computed once and reused by every fixed-point round; the floats replay
+    ``GlitchMatrix.record_fraction`` exactly (same boolean reductions, same
+    division).
+    """
+    series = load_slab(source, spill=True)
+    miss = np.empty(len(series))
+    inc = np.empty(len(series))
+    for i, s in enumerate(series):
+        miss[i] = float(detect_missing(s).any(axis=1).mean())
+        inc[i] = float(spec.constraints.evaluate(s).any(axis=1).mean())
+    return miss, inc
+
+
+@dataclass(frozen=True)
+class _OutlierSpec:
+    """Per-round pass: outlier record fractions under the current suite."""
+
+    suite: DetectorSuite
+
+
+def _outlier_slab(spec: _OutlierSpec, source: SlabSource) -> np.ndarray:
+    series = load_slab(source)
+    out = np.empty(len(series))
+    transform = spec.suite.transform
+    detector = spec.suite.outlier_detector
+    for i, s in enumerate(series):
+        scaled = transform.apply(s) if transform else s
+        out[i] = float(detector.detect(scaled).any(axis=1).mean())
+    return out
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """Fit pass: one attribute's analysis-scale ideal column, shard by shard."""
+
+    transform: Optional[ScaleTransform]
+    attr_index: int
+    attr_name: str
+
+
+def _column_slab(
+    spec: _ColumnSpec, unit: tuple[SlabSource, np.ndarray]
+) -> list[np.ndarray]:
+    """Complete column values of the shard's ideal-verdict series.
+
+    Replays the ``transform.apply_dataset`` → ``pooled_column(dropna=True)``
+    arithmetic per series: the elementwise transform and the NaN drop both
+    commute with concatenation, so the coordinator's concatenated column is
+    bitwise-identical to pooling the materialised ideal data set.
+    """
+    source, keep = unit
+    series = load_slab(source)
+    cols: list[np.ndarray] = []
+    for s, keep_one in zip(series, keep):
+        if not keep_one:
+            continue
+        col = s.values[:, spec.attr_index]
+        if spec.transform is not None and spec.transform.attribute == spec.attr_name:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                col = np.asarray(spec.transform.forward(col), dtype=float)
+            cols.append(col[np.isfinite(col)])
+        else:
+            cols.append(col[~np.isnan(col)])
+    return cols
+
+
+@dataclass(frozen=True)
+class _GatherSpec:
+    """Final pass: gather the replication-touched series (+ glitch scores)."""
+
+    needed: frozenset
+    suite: Optional[DetectorSuite]
+    weights: Optional[GlitchWeights]
+
+
+def _gather_slab(
+    spec: _GatherSpec, unit: tuple[SlabSource, np.ndarray]
+) -> tuple[list[tuple[int, TimeSeries]], np.ndarray]:
+    """Kept ``(population index, series)`` pairs plus (optionally) the
+    glitch scores of the shard's dirty members, in shard order."""
+    source, dirty_mask = unit
+    series = load_slab(source)
+    kept: list[tuple[int, TimeSeries]] = []
+    scores: list[float] = []
+    for offset, (s, is_dirty) in enumerate(zip(series, dirty_mask)):
+        idx = source.start + offset
+        if spec.suite is not None and is_dirty:
+            scores.append(series_glitch_score(spec.suite.annotate(s), spec.weights))
+        if idx in spec.needed:
+            # Deep-copy the arrays: store-loaded series are views into the
+            # whole shard's tensor, and keeping a view would pin the shard —
+            # exactly the O(population) retention the gather exists to avoid.
+            kept.append(
+                (
+                    idx,
+                    TimeSeries(
+                        s.node,
+                        s.values.copy(),
+                        s.attributes,
+                        None if s.truth is None else s.truth.copy(),
+                    ),
+                )
+            )
+    return kept, np.array(scores)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamingResult:
+    """Everything one streaming run produced.
+
+    ``result`` is the ordinary :class:`ExperimentResult` —
+    outcome-for-outcome identical to the in-memory path. The rest is the
+    engine's bounded population summary: the dirty/ideal split, the fitted
+    suite, and (when ``sketch_k`` was set) the glitch-score sketches over
+    the shard stream.
+    """
+
+    result: ExperimentResult
+    n_series: int
+    dirty_indices: list[int]
+    ideal_indices: list[int]
+    suite: DetectorSuite
+    n_gathered: int
+    n_store_passes: int
+    spilled_bytes: int
+    glitch_scores: Optional[np.ndarray] = None
+    sketch: Optional[BottomKSketch] = None
+    priority: Optional[PrioritySample] = None
+
+    @property
+    def outcomes(self):
+        """The outcome list (shorthand for ``result.outcomes``)."""
+        return self.result.outcomes
+
+
+class StreamingExperiment:
+    """Runs the full experiment over a :class:`~repro.data.slab.SlabFeed`.
+
+    Parameters
+    ----------
+    generator_config, injection_config, seed:
+        The population recipe — identical to what
+        :func:`~repro.experiments.config.build_population` would take; for
+        equal inputs the engine's outcomes equal the materialised path's bit
+        for bit.
+    config:
+        The :class:`ExperimentConfig` of the replication loop.
+    constraints, transform, k, max_fraction, max_iter:
+        The ideal-identification parameters (same defaults as
+        :func:`~repro.glitches.detectors.identify_ideal`).
+    backend, n_workers, shard_size:
+        Execution backend and shard layout for every streamed pass (and the
+        replication evaluation); a pure wall-clock knob.
+    spill, spill_dir:
+        Whether/where shards spill to disk after the first materialisation;
+        with spilling off every pass regenerates from the seed recipes
+        (same numbers, more compute, zero disk).
+    sketch_k:
+        When set, the final pass also scores every dirty series and builds a
+        bottom-k sketch and a priority sample (weights = glitch scores) by
+        shard-stream union; ``None`` (default) skips the extra annotation.
+    """
+
+    def __init__(
+        self,
+        generator_config: Optional[GeneratorConfig] = None,
+        injection_config: Optional[GlitchInjectionConfig] = None,
+        seed: Seed = 0,
+        config: Optional[ExperimentConfig] = None,
+        constraints: Optional[ConstraintSet] = None,
+        transform: Optional[ScaleTransform] = None,
+        k: float = 3.0,
+        max_fraction: float = 0.05,
+        max_iter: int = 3,
+        backend: Optional[object] = None,
+        n_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        spill: bool = True,
+        spill_dir: Optional[str] = None,
+        sketch_k: Optional[int] = None,
+    ):
+        if max_iter < 1:
+            raise ValidationError("max_iter must be >= 1")
+        self.config = config or ExperimentConfig()
+        if not isinstance(self.config.seed, int):
+            # The in-memory path consumes a shared SeedSequence/Generator
+            # config seed in lazy spawn order (strategy seeds first, pair
+            # draws second); the engine draws pairs eagerly, so only the
+            # disjoint int derivation (seed vs seed + 1) replays identically.
+            raise ValidationError(
+                "streaming identity requires an int ExperimentConfig.seed; "
+                "SeedSequence/Generator seeds are consumed order-dependently "
+                "by the in-memory replication loop"
+            )
+        self.constraints = (
+            constraints if constraints is not None else paper_constraints()
+        )
+        self.transform = transform
+        self.k = k
+        self.max_fraction = check_fraction(max_fraction, "max_fraction")
+        self.max_iter = max_iter
+        self.sketch_k = sketch_k
+        # Snapshot mutable SeedSequence seeds so the engine's derivations
+        # (and the sketch stream) replay children 0..n regardless of what
+        # the caller spawned from the sequence before.
+        self.seed = snapshot_seed(seed)
+        # The ExperimentConfig backend knob applies here exactly as it does
+        # to ExperimentRunner: an explicit argument wins, then the config's
+        # backend/n_workers, then REPRO_BACKEND (inside Pipeline.coerce).
+        if backend is None:
+            backend = self.config.backend
+        if n_workers is None:
+            n_workers = self.config.n_workers
+        # The replication evaluation resolves its backend separately: the
+        # feed's Pipeline exempts coarse shard passes from the process
+        # backend's small-batch fallback, but the pair units are exactly the
+        # cheap stream that fallback protects (matching ExperimentRunner).
+        from repro.core.executor import ProcessBackend
+        from repro.core.pipeline import Pipeline as _Pipeline
+
+        if isinstance(backend, _Pipeline):
+            eval_backend = backend.backend
+            if type(eval_backend) is ProcessBackend:
+                # Undo the pipeline's coarse-stage exemption for pair
+                # evaluation: rebuild a sibling with the default threshold.
+                eval_backend = ProcessBackend(
+                    n_workers=eval_backend.n_workers,
+                    chunksize=eval_backend.chunksize,
+                    start_method=eval_backend.start_method,
+                )
+            self._eval_backend = eval_backend
+        else:
+            self._eval_backend = resolve_backend(backend, n_workers=n_workers)
+        self.feed = SlabFeed(
+            generator_config,
+            injection_config,
+            seed=seed,
+            backend=backend,
+            n_workers=n_workers,
+            shard_size=shard_size,
+            spill=spill,
+            spill_dir=spill_dir,
+        )
+        self._store_passes = 0
+
+    @classmethod
+    def from_scale(cls, scale: str = "small", seed: Seed = 0, **kwargs) -> "StreamingExperiment":
+        """An engine for one of the named scale presets (tiny/small/paper)."""
+        from repro.experiments.config import SCALES, experiment_config
+        from repro.errors import ExperimentError
+
+        if scale not in SCALES:
+            raise ExperimentError(
+                f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+            )
+        kwargs.setdefault("config", experiment_config(scale))
+        return cls(
+            generator_config=SCALES[scale].generator, seed=seed, **kwargs
+        )
+
+    # -- streamed passes --------------------------------------------------------
+
+    def _map(self, fn, items=None) -> list:
+        self._store_passes += 1
+        return self.feed.map(fn, items)
+
+    def _shard_units(self, per_series: np.ndarray) -> list:
+        """Zip every source with its slice of a per-series array."""
+        return [
+            (source, per_series[source.start : source.stop])
+            for source in self.feed.sources
+        ]
+
+    def _fit_limits(self, verdicts: np.ndarray) -> SigmaLimits:
+        """The 3-sigma fit on the current ideal set, one attribute at a time.
+
+        Peak memory is one attribute's pooled ideal column — the engine
+        never holds the ideal *data set*. The concatenated column replays
+        ``StreamDataset.pooled_column`` exactly (see :func:`_column_slab`),
+        so the limits are bitwise-identical to
+        ``SigmaLimits.from_dataset(scaled_ideal, k=k)``.
+        """
+        limits: dict[str, tuple[float, float]] = {}
+        for j, attr in enumerate(self.attributes):
+            spec = _ColumnSpec(
+                transform=self.transform, attr_index=j, attr_name=attr
+            )
+            chunks = self._map(
+                partial(_column_slab, spec), self._shard_units(verdicts)
+            )
+            col = np.concatenate(
+                [c for chunk in chunks for c in chunk] or [np.empty(0)]
+            )
+            limits[attr] = sigma_limits(col, k=self.k)
+        return SigmaLimits(limits)
+
+    @staticmethod
+    def _split(verdicts: np.ndarray) -> tuple[list[int], list[int]]:
+        dirty_idx = [int(i) for i in np.flatnonzero(~verdicts)]
+        ideal_idx = [int(i) for i in np.flatnonzero(verdicts)]
+        if not ideal_idx:
+            raise ValidationError(
+                "no series met the cleanliness requirement; loosen max_fraction"
+            )
+        if not dirty_idx:
+            raise ValidationError("every series is ideal; nothing to clean")
+        return dirty_idx, ideal_idx
+
+    def identify(self) -> tuple[np.ndarray, DetectorSuite]:
+        """Stream the ideal-set / outlier-limit fixed point.
+
+        The loop structure replays
+        :func:`~repro.glitches.detectors.identify_ideal` round for round —
+        bootstrap split on missing+inconsistent rates, then fit → re-verdict
+        → re-split until membership is stable — with every per-series pass
+        fanned over the feed's backend and nothing retained beyond verdicts
+        and a handful of floats per series.
+        """
+        from repro.glitches.types import N_GLITCH_TYPES
+
+        if N_GLITCH_TYPES != 3:  # pragma: no cover - future-taxonomy tripwire
+            raise ValidationError(
+                "the streaming verdict replay covers exactly the "
+                "missing/inconsistent/outlier taxonomy; a new GlitchType "
+                "needs its record fraction added to _profile_slab/_outlier_slab "
+                "before the identity contract holds again"
+            )
+        if not hasattr(self, "attributes"):
+            # Peek one shard for the attribute schema (it spills for reuse).
+            self.attributes = load_slab(self.feed.sources[0], spill=True)[0].attributes
+        profile = self._map(partial(_profile_slab, _ProfileSpec(self.constraints)))
+        miss = np.concatenate([m for m, _ in profile])
+        inc = np.concatenate([i for _, i in profile])
+        mf = self.max_fraction
+        verdicts = (miss < mf) & (inc < mf)
+        self._split(verdicts)
+        previous = set(np.flatnonzero(verdicts).tolist())
+        suite = DetectorSuite(constraints=self.constraints, outlier_detector=None)
+        for _ in range(self.max_iter):
+            suite = DetectorSuite(
+                constraints=self.constraints,
+                outlier_detector=SigmaOutlierDetector(self._fit_limits(verdicts)),
+                transform=self.transform,
+            )
+            out = np.concatenate(self._map(partial(_outlier_slab, _OutlierSpec(suite))))
+            verdicts = (miss < mf) & (inc < mf) & (out < mf)
+            self._split(verdicts)
+            current = set(np.flatnonzero(verdicts).tolist())
+            if current == previous:
+                break
+            previous = current
+        return verdicts, suite
+
+    # -- the full run -----------------------------------------------------------
+
+    def run(
+        self,
+        strategies: Sequence[CleaningStrategy],
+        distance: Optional[Distance] = None,
+        weights: Optional[GlitchWeights] = None,
+        constraints: Optional[ConstraintSet] = None,
+        cleanup: bool = True,
+    ) -> StreamingResult:
+        """Run the whole experiment out of core.
+
+        *constraints* here are the evaluation-time rules (defaulting to the
+        paper's, like :class:`~repro.core.framework.ExperimentRunner`);
+        the identification-time rules were fixed at construction.
+        """
+        cfg = self.config
+        try:
+            verdicts, suite = self.identify()
+            dirty_idx, ideal_idx = self._split(verdicts)
+
+            # Draw the replication index streams up front — they only need
+            # the two population sizes — then gather just the touched series.
+            draws = list(
+                replication_index_streams(
+                    len(dirty_idx),
+                    len(ideal_idx),
+                    cfg.n_replications,
+                    cfg.sample_size,
+                    seed=cfg.seed,
+                )
+            )
+            needed = frozenset(
+                {dirty_idx[int(i)] for d_idx, _ in draws for i in d_idx}
+                | {ideal_idx[int(i)] for _, i_idx in draws for i in i_idx}
+            )
+            gather_spec = _GatherSpec(
+                needed=needed,
+                suite=suite if self.sketch_k is not None else None,
+                weights=weights if self.sketch_k is not None else None,
+            )
+            chunks = self._map(
+                partial(_gather_slab, gather_spec), self._shard_units(~verdicts)
+            )
+            entries = {idx: s for kept, _ in chunks for idx, s in kept}
+
+            scores = sketch = priority = None
+            if self.sketch_k is not None:
+                scores, sketch, priority = self._sketch(
+                    dirty_idx, [s for _, s in chunks]
+                )
+
+            lengths = self.feed.lengths
+            dirty_gather = ParentGather(
+                n_total=len(dirty_idx),
+                entries={
+                    pos: entries[idx] for pos, idx in enumerate(dirty_idx) if idx in entries
+                },
+                uniform=bool(
+                    (lengths[dirty_idx] == lengths[dirty_idx[0]]).all()
+                ),
+            )
+            ideal_gather = ParentGather(
+                n_total=len(ideal_idx),
+                entries={
+                    pos: entries[idx] for pos, idx in enumerate(ideal_idx) if idx in entries
+                },
+                uniform=bool(
+                    (lengths[ideal_idx] == lengths[ideal_idx[0]]).all()
+                ),
+            )
+            use_block = dirty_gather.block_layout and ideal_gather.block_layout
+
+            def pairs():
+                for i, (d_idx, i_idx) in enumerate(draws):
+                    if use_block:
+                        yield TestPair(
+                            index=i,
+                            dirty_block=dirty_gather.sample(d_idx, block=True),
+                            ideal_block=ideal_gather.sample(i_idx, block=True),
+                        )
+                    else:
+                        yield TestPair(
+                            index=i,
+                            dirty=dirty_gather.sample(d_idx, block=False),
+                            ideal=ideal_gather.sample(i_idx, block=False),
+                        )
+
+            result = run_pair_stream(
+                pairs(),
+                strategies,
+                config=cfg,
+                distance=distance,
+                weights=weights,
+                constraints=constraints,
+                backend=self._eval_backend,
+            )
+            return StreamingResult(
+                result=result,
+                n_series=self.feed.n_series,
+                dirty_indices=dirty_idx,
+                ideal_indices=ideal_idx,
+                suite=suite,
+                n_gathered=len(entries),
+                n_store_passes=self._store_passes,
+                spilled_bytes=self.feed.spilled_bytes(),
+                glitch_scores=scores,
+                sketch=sketch,
+                priority=priority,
+            )
+        finally:
+            if cleanup:
+                self.feed.cleanup()
+
+    def _sketch(
+        self, dirty_idx: list[int], score_chunks: Sequence[np.ndarray]
+    ) -> tuple[np.ndarray, BottomKSketch, PrioritySample]:
+        """Shard-stream sketches of the dirty population's glitch mass.
+
+        Per-item ranks are pre-spawned by dirty-order index from a dedicated
+        child of the root seed, so each shard sketches its own slice and the
+        union *is* the population sketch (the distributed-collection
+        identity the property tests pin).
+        """
+        scores = np.concatenate(score_chunks) if score_chunks else np.empty(0)
+        # Re-snapshot per call: spawning mutates the stored sequence's child
+        # counter, and repeated run() must derive the same sketch stream.
+        sketch_seq = spawn_sequences(as_generator(snapshot_seed(self.seed)), 3)[2]
+        ranks = indexed_ranks(len(scores), sketch_seq)
+        shard_sketches = []
+        pos = 0
+        for chunk in score_chunks:
+            n = len(chunk)
+            if n == 0:
+                continue
+            shard_sketches.append(
+                BottomKSketch.from_weights(
+                    keys=dirty_idx[pos : pos + n],
+                    weights=chunk,
+                    k=self.sketch_k,
+                    ranks=ranks[pos : pos + n],
+                )
+            )
+            pos += n
+        sketch = union_sketches(shard_sketches)
+        priority = priority_sample_indexed(
+            keys=dirty_idx, weights=scores, k=self.sketch_k, ranks=ranks
+        )
+        return scores, sketch, priority
+
+
+def run_streaming_experiment(
+    scale: str = "small",
+    seed: Seed = 0,
+    config: Optional[ExperimentConfig] = None,
+    strategies: Optional[Sequence[CleaningStrategy]] = None,
+    **kwargs,
+) -> StreamingResult:
+    """One-call streaming run of the Figure-6 experiment at a named scale."""
+    from repro.cleaning.registry import paper_strategies
+
+    engine = StreamingExperiment.from_scale(
+        scale, seed=seed, **({"config": config} if config else {}), **kwargs
+    )
+    return engine.run(list(strategies) if strategies else paper_strategies())

@@ -16,6 +16,7 @@ from repro.data.glitch_injection import (
     InjectionShard,
     inject_shard,
 )
+from repro.data.slab import SlabFeed, SlabSource, TimeSlab, load_slab
 from repro.data.stream import TimeSeries
 from repro.data.topology import NetworkTopology, NodeId
 from repro.data.window import WindowHistory
@@ -36,4 +37,8 @@ __all__ = [
     "GlitchInjector",
     "InjectionShard",
     "inject_shard",
+    "SlabFeed",
+    "SlabSource",
+    "TimeSlab",
+    "load_slab",
 ]

@@ -1,0 +1,413 @@
+"""Streaming slab feed — bounded, recomputable population chunks.
+
+Section 3.1 frames the whole problem as a data-stream setting where "it is
+often infeasible to store all the data". The materialised population build
+(:func:`repro.experiments.config.build_population`) violates that premise on
+purpose — it is the in-memory reference — and this module supplies the
+out-of-core alternative the streaming engine runs on:
+
+* :class:`SlabSource` is a **recipe** for one population shard: the node
+  range, the per-series seed sequences of the generation and injection
+  stages, and the centrally drawn event windows. A recipe is a few hundred
+  bytes; materialising it (:func:`load_slab`) reproduces the shard's dirty
+  series bit for bit, because every series is a pure function of its own
+  pre-spawned stream — the same contract the sharded pipeline (PR 2) pins.
+* A source can **spill**: the first materialisation writes the shard to one
+  ``.npy``-backed file, and later passes stream it back instead of
+  recomputing — the classic out-of-core trade (disk for memory), with
+  ``float64`` round-tripping exactly.
+* :class:`SlabFeed` plans the shard layout (reusing
+  :class:`~repro.core.pipeline.Pipeline` / ``REPRO_SHARD_SIZE``), owns the
+  spill directory, fans per-shard work across the execution backend, and
+  serves **time-axis slabs**: bounded ``(n, w, v)`` :class:`SampleBlock`
+  windows cut from each shard with the same ``w``-step overlap logic as
+  :meth:`repro.data.window.WindowHistory.iter_windows`, appended into a
+  bounded ring for windowed consumers.
+
+Peak memory of any pass over a feed is O(one shard) + O(ring), never
+O(population).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.data.block import SampleBlock
+from repro.data.generator import (
+    GenerationShard,
+    GeneratorConfig,
+    NetworkDataGenerator,
+    generate_shard,
+)
+from repro.data.glitch_injection import (
+    GlitchInjectionConfig,
+    InjectionShard,
+    _event_windows,
+    inject_shard,
+)
+from repro.data.stream import TimeSeries
+from repro.data.topology import NodeId
+from repro.errors import DataShapeError, ValidationError
+from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SlabSource",
+    "TimeSlab",
+    "SlabFeed",
+    "load_slab",
+]
+
+
+@dataclass(frozen=True)
+class SlabSource:
+    """Recipe for one contiguous shard ``[start, stop)`` of a dirty population.
+
+    Everything needed to reproduce the shard's series exactly, on any
+    backend, in any order: the stage configs, the node identities, the
+    per-series seed sequences of both stages, and the shared event-window
+    mask (global state, drawn once centrally). ``store_path`` names the
+    shard's spill file; when the file exists, :func:`load_slab` streams it
+    back instead of recomputing.
+    """
+
+    index: int
+    start: int
+    stop: int
+    nodes: tuple[NodeId, ...]
+    gen_config: GeneratorConfig
+    gen_seeds: tuple[np.random.SeedSequence, ...]
+    inj_config: GlitchInjectionConfig
+    inj_seeds: tuple[np.random.SeedSequence, ...]
+    events: np.ndarray
+    store_path: Optional[str] = None
+
+    @property
+    def n_series(self) -> int:
+        """Number of series in the shard."""
+        return self.stop - self.start
+
+
+def _materialize(source: SlabSource) -> list[TimeSeries]:
+    """Generate and glitch the shard's series from their seed recipes."""
+    from repro.core.pipeline import ShardSpec
+
+    gen_unit = GenerationShard(
+        config=source.gen_config,
+        nodes=source.nodes,
+        shard=ShardSpec(
+            index=source.index,
+            start=source.start,
+            stop=source.stop,
+            seeds=source.gen_seeds,
+        ),
+    )
+    clean = generate_shard(gen_unit)
+    inj_unit = InjectionShard(
+        config=source.inj_config,
+        series=tuple(clean),
+        events=source.events,
+        shard=ShardSpec(
+            index=source.index,
+            start=source.start,
+            stop=source.stop,
+            seeds=source.inj_seeds,
+        ),
+    )
+    return [dirty for dirty, _record in inject_shard(inj_unit)]
+
+
+def _spill(source: SlabSource, series: Sequence[TimeSeries]) -> None:
+    """Write the shard to its spill file (atomic; float64 round-trips exactly)."""
+    lengths = np.array([s.length for s in series], dtype=np.int64)
+    values = np.concatenate([s.values for s in series], axis=0)
+    truth = np.concatenate([s.truth for s in series], axis=0)
+    # The directory may have been cleaned up since planning (e.g. a second
+    # run() of the same engine); spilling recreates it rather than crashing.
+    os.makedirs(os.path.dirname(source.store_path), exist_ok=True)
+    tmp = f"{source.store_path}.tmp{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, lengths=lengths, values=values, truth=truth)
+    os.replace(tmp, source.store_path)
+
+
+def _read_store(source: SlabSource) -> list[TimeSeries]:
+    with np.load(source.store_path) as archive:
+        lengths = archive["lengths"]
+        values = archive["values"]
+        truth = archive["truth"]
+    bounds = np.concatenate([[0], np.cumsum(lengths)])
+    return [
+        TimeSeries(
+            node,
+            values[bounds[i] : bounds[i + 1]],
+            truth=truth[bounds[i] : bounds[i + 1]],
+        )
+        for i, node in enumerate(source.nodes)
+    ]
+
+
+def load_slab(source: SlabSource, spill: bool = False) -> list[TimeSeries]:
+    """The shard's dirty series — from the spill store when present,
+    regenerated from the seed recipes otherwise (bitwise-identical either
+    way). With ``spill=True`` a regenerated shard is written to its store
+    path so later passes stream instead of recompute; workers spill their
+    own disjoint files, so the write needs no coordination.
+    """
+    if source.store_path and os.path.exists(source.store_path):
+        return _read_store(source)
+    series = _materialize(source)
+    if spill and source.store_path:
+        _spill(source, series)
+    return series
+
+
+@dataclass(frozen=True)
+class TimeSlab:
+    """One bounded ``(n, w [+ overlap], v)`` window of a shard's series.
+
+    ``block`` holds rows ``[lo, stop)`` of the time axis where
+    ``lo = max(0, start - window)`` — each step in ``[start, stop)`` can see
+    its full ``window``-step history, and nothing more is materialised
+    (the :class:`~repro.data.window.WindowShard` overlap rule).
+    ``series_start`` is the population index of the block's first row.
+    """
+
+    block: SampleBlock
+    series_start: int
+    start: int
+    stop: int
+    lo: int
+
+    @property
+    def width(self) -> int:
+        """Number of *owned* time steps (excluding the history overlap)."""
+        return self.stop - self.start
+
+
+class SlabFeed:
+    """Plans, materialises and streams one dirty population as bounded slabs.
+
+    Parameters
+    ----------
+    generator_config, injection_config:
+        The population recipe — the same configs
+        :func:`~repro.experiments.config.build_population` takes.
+    seed:
+        Root seed; the feed derives its stage streams exactly as the
+        materialised build does, so for equal ``(configs, seed)`` the fed
+        series are bitwise-identical to the bundle's population.
+    backend, n_workers, shard_size:
+        Shard layout and execution backend, via
+        :class:`~repro.core.pipeline.Pipeline` (``REPRO_BACKEND`` /
+        ``REPRO_SHARD_SIZE`` apply). The layout is a pure performance knob.
+    spill:
+        Whether the first materialisation writes each shard to disk for
+        later passes (default True). ``spill_dir`` pins the location; by
+        default a private temp directory is created and removed by
+        :meth:`cleanup` / the context manager.
+    ring_capacity:
+        Bound of the time-slab ring (:attr:`ring`).
+    """
+
+    def __init__(
+        self,
+        generator_config: Optional[GeneratorConfig] = None,
+        injection_config: Optional[GlitchInjectionConfig] = None,
+        seed: Seed = 0,
+        backend: Optional[object] = None,
+        n_workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        spill: bool = True,
+        spill_dir: Optional[str] = None,
+        ring_capacity: int = 4,
+    ):
+        from repro.core.pipeline import Pipeline
+
+        if isinstance(seed, np.random.Generator):
+            raise ValidationError(
+                "SlabFeed needs a replayable seed (int or SeedSequence); a "
+                "live Generator cannot be re-derived across passes"
+            )
+        self.gen_config = generator_config or GeneratorConfig()
+        self.inj_config = injection_config or GlitchInjectionConfig()
+        # Snapshot: a SeedSequence's spawn counter mutates on use, and the
+        # feed must derive the same stage streams an unspawned sequence
+        # would, no matter what the caller spawned from it before.
+        self.seed = snapshot_seed(seed)
+        self.pipeline = Pipeline.coerce(
+            backend, n_workers=n_workers, shard_size=shard_size
+        )
+        self.ring_capacity = check_positive_int(ring_capacity, "ring_capacity")
+        self.ring: deque[TimeSlab] = deque(maxlen=self.ring_capacity)
+        self._owns_spill_dir = spill and spill_dir is None
+        self.spill_dir = (
+            (spill_dir or tempfile.mkdtemp(prefix="repro-slabs-")) if spill else None
+        )
+        self._plan()
+
+    # -- planning ---------------------------------------------------------------
+
+    def _plan(self) -> None:
+        # Stage streams derived exactly like build_population: one child per
+        # stage from the root seed, then per-series children by index.
+        gen_seq, inject_seq = spawn_sequences(as_generator(self.seed), 2)
+        generator = NetworkDataGenerator(self.gen_config, seed=gen_seq)
+        shards, _stage = generator.generate_shards(self.pipeline)
+        nodes = generator.topology.nodes
+        self.n_series = len(nodes)
+
+        cfg = self.gen_config
+        if cfg.min_length == cfg.series_length:
+            self.lengths = np.full(self.n_series, cfg.series_length, dtype=np.int64)
+        else:
+            # A series' length is the first draw of its own stream; reading
+            # it from a fresh generator consumes nothing the real
+            # materialisation will miss (SeedSequences only mutate on spawn).
+            self.lengths = np.array(
+                [
+                    int(
+                        np.random.default_rng(seq).integers(
+                            cfg.min_length, cfg.series_length + 1
+                        )
+                    )
+                    for shard in shards
+                    for seq in shard.seeds
+                ],
+                dtype=np.int64,
+            )
+        self.max_length = int(self.lengths.max())
+        self.uniform = bool((self.lengths == self.lengths[0]).all())
+
+        # Injection global state and per-series streams, exactly as
+        # GlitchInjector.inject_shards derives them.
+        event_seq, series_root = spawn_sequences(as_generator(inject_seq), 2)
+        events = _event_windows(
+            self.inj_config, np.random.default_rng(event_seq), self.max_length
+        )
+        inj_seeds = spawn_sequences(series_root, self.n_series)
+
+        self.sources: list[SlabSource] = [
+            SlabSource(
+                index=shard.index,
+                start=shard.start,
+                stop=shard.stop,
+                nodes=tuple(nodes[shard.start : shard.stop]),
+                gen_config=self.gen_config,
+                gen_seeds=shard.seeds,
+                inj_config=self.inj_config,
+                inj_seeds=tuple(inj_seeds[shard.start : shard.stop]),
+                events=events,
+                store_path=(
+                    os.path.join(self.spill_dir, f"slab-{shard.index:05d}.npz")
+                    if self.spill_dir
+                    else None
+                ),
+            )
+            for shard in shards
+        ]
+
+    # -- fan-out ----------------------------------------------------------------
+
+    def map(self, fn: Callable, items: Optional[Sequence] = None) -> list:
+        """Evaluate *fn* over work items (default: the sources) on the
+        feed's execution backend, preserving order."""
+        return self.pipeline.backend.map(
+            fn, self.sources if items is None else items
+        )
+
+    def iter_series(self, spill: bool = True) -> Iterator[tuple[SlabSource, list[TimeSeries]]]:
+        """Serially yield ``(source, dirty series)`` per shard, one shard in
+        memory at a time."""
+        for source in self.sources:
+            yield source, load_slab(source, spill=spill)
+
+    # -- time-axis slabs ---------------------------------------------------------
+
+    def iter_time_slabs(
+        self, width: int, window: int = 0, spill: bool = True
+    ) -> Iterator[TimeSlab]:
+        """Yield bounded ``(n, w, v)`` windows of every shard, in time order.
+
+        Each shard is materialised once and cut along the time axis into
+        slabs of *width* steps plus a *window*-step history overlap (the
+        ``WindowHistory.iter_windows`` rule: a slab's first owned step still
+        sees its full history; shard boundaries never truncate it). Every
+        yielded slab is appended to the bounded :attr:`ring`, so windowed
+        consumers can reach the most recent few without the feed ever
+        holding more than one shard plus the ring. Requires a uniform
+        series length (ragged shards cannot stack into one block).
+        """
+        width = check_positive_int(width, "width")
+        if window < 0:
+            raise ValidationError(f"window must be >= 0, got {window}")
+        if not self.uniform:
+            raise DataShapeError(
+                "time slabs need a uniform series length; this population "
+                "is ragged"
+            )
+        for source, series in self.iter_series(spill=spill):
+            values = np.stack([s.values for s in series])
+            truth = np.stack([s.truth for s in series])
+            attributes = series[0].attributes
+            nodes = tuple(s.node for s in series)
+            indices = np.arange(source.start, source.stop, dtype=np.intp)
+            length = values.shape[1]
+            for start in range(0, length, width):
+                stop = min(start + width, length)
+                lo = max(0, start - window)
+                # Copy the window: a view would keep the whole shard tensor
+                # alive through the ring, silently growing the documented
+                # O(ring) bound to O(ring_capacity x shard).
+                slab = TimeSlab(
+                    block=SampleBlock(
+                        values=values[:, lo:stop].copy(),
+                        attributes=attributes,
+                        nodes=nodes,
+                        truth=truth[:, lo:stop].copy(),
+                        indices=indices,
+                    ),
+                    series_start=source.start,
+                    start=start,
+                    stop=stop,
+                    lo=lo,
+                )
+                self.ring.append(slab)
+                yield slab
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def spilled_bytes(self) -> int:
+        """Total size of the spill store on disk (0 when spilling is off)."""
+        if not self.spill_dir:
+            return 0
+        total = 0
+        for source in self.sources:
+            if source.store_path and os.path.exists(source.store_path):
+                total += os.path.getsize(source.store_path)
+        return total
+
+    def cleanup(self) -> None:
+        """Remove the spill store if this feed owns it."""
+        if self._owns_spill_dir and self.spill_dir and os.path.isdir(self.spill_dir):
+            import shutil
+
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+
+    def __enter__(self) -> "SlabFeed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlabFeed(n_series={self.n_series}, shards={len(self.sources)}, "
+            f"uniform={self.uniform}, spill={'on' if self.spill_dir else 'off'})"
+        )

@@ -10,7 +10,12 @@ and a Kolmogorov-Smirnov extension.
 from repro.distance.base import Distance
 from repro.distance.emd import EarthMoverDistance, emd_1d, pairwise_emd
 from repro.distance.emd_approx import MarginalEmd, SlicedEmd
-from repro.distance.histogram import HistogramBinner, SparseHistogram
+from repro.distance.histogram import (
+    HistogramAccumulator,
+    HistogramBinner,
+    HistogramGrid,
+    SparseHistogram,
+)
 from repro.distance.kl import JensenShannonDistance, KLDivergence
 from repro.distance.ks import KolmogorovSmirnovDistance
 from repro.distance.mahalanobis import MahalanobisDistance
@@ -29,6 +34,8 @@ __all__ = [
     "SlicedEmd",
     "MarginalEmd",
     "HistogramBinner",
+    "HistogramGrid",
+    "HistogramAccumulator",
     "SparseHistogram",
     "KLDivergence",
     "JensenShannonDistance",

@@ -14,6 +14,7 @@ from repro.experiments.paper import (
     figure3_counts,
     figure4_stats,
     figure5_stats,
+    run_experiment,
     run_figure6,
     run_figure7,
     run_table1,
@@ -35,6 +36,7 @@ __all__ = [
     "figure3_counts",
     "figure4_stats",
     "figure5_stats",
+    "run_experiment",
     "run_figure6",
     "run_figure7",
     "run_table1",

@@ -24,6 +24,7 @@ from repro.cleaning.base import CleaningContext, CleaningStrategy
 from repro.cleaning.registry import paper_strategies, strategy_by_name
 from repro.core.cost import PAPER_COST_FRACTIONS, CostSweepResult, cost_sweep
 from repro.core.framework import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.errors import ExperimentError
 from repro.experiments.config import PopulationBundle, experiment_config
 from repro.glitches.detectors import DetectorSuite
 from repro.glitches.outliers import SigmaOutlierDetector
@@ -38,10 +39,53 @@ __all__ = [
     "collect_treatment_scatter",
     "figure4_stats",
     "figure5_stats",
+    "run_experiment",
     "run_figure6",
     "run_figure7",
     "run_table1",
 ]
+
+
+def run_experiment(
+    scale: str = "small",
+    seed: Seed = 0,
+    config: Optional[ExperimentConfig] = None,
+    strategies: Optional[Sequence[CleaningStrategy]] = None,
+    backend=None,
+    **streaming_kwargs,
+) -> ExperimentResult:
+    """The Figure-6 experiment at a named scale, through either engine.
+
+    The ``REPRO_STREAM`` environment variable / ``config.streaming`` field
+    selects the path: the default materialises the population
+    (:func:`~repro.experiments.config.build_population` +
+    :func:`run_figure6`), while the streaming choice runs the out-of-core
+    slab engine (:class:`~repro.core.streaming.StreamingExperiment`) with
+    peak memory bounded by the shard size instead of the population. The
+    two paths return bitwise-identical outcomes; extra keyword arguments
+    (``shard_size=``, ``spill_dir=``, ``sketch_k=``, ...) reach the
+    streaming engine only.
+    """
+    from repro.core.streaming import run_streaming_experiment, streaming_enabled
+    from repro.experiments.config import build_population, experiment_config
+
+    config = config or experiment_config(scale)
+    if streaming_enabled(config):
+        return run_streaming_experiment(
+            scale,
+            seed=seed,
+            config=config,
+            strategies=strategies,
+            backend=backend,
+            **streaming_kwargs,
+        ).result
+    if streaming_kwargs:
+        raise ExperimentError(
+            f"streaming-only arguments {sorted(streaming_kwargs)} given, "
+            "but the streaming engine is not selected"
+        )
+    bundle = build_population(scale=scale, seed=seed, backend=backend)
+    return run_figure6(bundle, config=config, strategies=strategies, backend=backend)
 
 
 # ---------------------------------------------------------------------------

@@ -8,20 +8,34 @@ the paper cites as pluggable are provided: differentially weighted sampling,
 bottom-k sketches [4] and priority sampling for subset sums [5].
 """
 
-from repro.sampling.bottom_k import BottomKSketch
-from repro.sampling.priority import PrioritySample, priority_sample
-from repro.sampling.replication import TestPair, generate_test_pairs
+from repro.sampling.bottom_k import BottomKSketch, indexed_ranks, union_sketches
+from repro.sampling.priority import (
+    PrioritySample,
+    priority_sample,
+    priority_sample_indexed,
+)
+from repro.sampling.replication import (
+    ParentGather,
+    TestPair,
+    generate_test_pairs,
+    replication_index_streams,
+)
 from repro.sampling.simple import sample_indices, sample_series
 from repro.sampling.weighted import weighted_sample_indices, weighted_sample_series
 
 __all__ = [
+    "ParentGather",
     "TestPair",
     "generate_test_pairs",
+    "replication_index_streams",
     "sample_indices",
     "sample_series",
     "weighted_sample_indices",
     "weighted_sample_series",
     "BottomKSketch",
+    "indexed_ranks",
+    "union_sketches",
     "PrioritySample",
     "priority_sample",
+    "priority_sample_indexed",
 ]

@@ -15,15 +15,16 @@ without touching the full population.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from functools import reduce
+from typing import Callable, Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SamplingError
-from repro.utils.rng import Seed, as_generator
+from repro.utils.rng import Seed, as_generator, spawn_sequences
 from repro.utils.validation import check_positive_int
 
-__all__ = ["BottomKSketch"]
+__all__ = ["BottomKSketch", "indexed_ranks", "union_sketches"]
 
 
 @dataclass(frozen=True)
@@ -31,6 +32,29 @@ class _Entry:
     key: Hashable
     weight: float
     rank: float
+
+
+def indexed_ranks(n: int, seed: Seed, start: int = 0) -> np.ndarray:
+    """``n`` uniform rank draws ``u_i`` pre-spawned by global item index.
+
+    Item ``start + i`` always draws the same uniform no matter how the
+    population is sliced into shards — the same layout-invariance idiom the
+    sharded pipeline uses for its per-series streams, and deliberately
+    independent of the item weights. It is what makes the
+    distributed-collection identity exact: the union of shard sketches *is*
+    the sketch of the union, entry for entry (``tests/test_sampling_sketches``
+    pins it down).
+
+    Spawning is O(``start + n``) per call, so a caller walking many shards
+    of one population should draw the ranks once at ``start=0`` and slice
+    (as the streaming engine does) rather than re-spawn per shard.
+    """
+    if n < 0:
+        raise SamplingError(f"n must be >= 0, got {n}")
+    seqs = spawn_sequences(seed, start + n)[start:]
+    return np.array(
+        [max(float(np.random.default_rng(seq).random()), 1e-300) for seq in seqs]
+    )
 
 
 class BottomKSketch:
@@ -61,6 +85,51 @@ class BottomKSketch:
             u = float(rng.random())
             u = max(u, 1e-300)  # avoid rank 0
             entries.append(_Entry(key=key, weight=weight, rank=u / weight))
+        entries.sort(key=lambda e: e.rank)
+        tau = entries[k].rank if len(entries) > k else float("inf")
+        return cls(k=k, entries=entries[:k], tau=tau)
+
+    @classmethod
+    def from_weights(
+        cls,
+        keys: Sequence[Hashable],
+        weights: Sequence[float],
+        k: int,
+        seed: Seed = None,
+        start: int = 0,
+        ranks: Optional[np.ndarray] = None,
+    ) -> "BottomKSketch":
+        """Sketch a (shard of a) weighted population with *indexed* ranks.
+
+        Unlike :meth:`build`, which draws uniforms from one sequential
+        stream, every item's rank here comes from its own stream spawned by
+        global item index (``start`` offsets a shard's slice into the
+        population, see :func:`indexed_ranks`; pre-computed *ranks* may be
+        passed to amortise the spawning). Consequence: sketching shard
+        ``[a, b)`` and shard ``[b, c)`` separately and taking the
+        :meth:`union` gives exactly the sketch of ``[a, c)`` — the
+        distributed-collection setting of the paper's reference [4].
+        """
+        k = check_positive_int(k, "k")
+        keys = list(keys)
+        if len(keys) != len(weights):
+            raise SamplingError(
+                f"got {len(keys)} keys for {len(weights)} weights"
+            )
+        if ranks is None:
+            ranks = indexed_ranks(len(keys), seed, start=start)
+        elif len(ranks) != len(keys):
+            raise SamplingError(
+                f"got {len(ranks)} ranks for {len(keys)} keys"
+            )
+        entries: list[_Entry] = []
+        for key, weight, u in zip(keys, weights, ranks):
+            weight = float(weight)
+            if weight < 0 or not np.isfinite(weight):
+                raise SamplingError(f"weight for {key!r} must be finite and >= 0")
+            if weight == 0:
+                continue
+            entries.append(_Entry(key=key, weight=weight, rank=float(u) / weight))
         entries.sort(key=lambda e: e.rank)
         tau = entries[k].rank if len(entries) > k else float("inf")
         return cls(k=k, entries=entries[:k], tau=tau)
@@ -122,3 +191,11 @@ class BottomKSketch:
             candidates.append(merged[self.k].rank)
         tau = min(candidates)
         return BottomKSketch(k=self.k, entries=merged[: self.k], tau=tau)
+
+
+def union_sketches(sketches: Iterable[BottomKSketch]) -> BottomKSketch:
+    """Union a stream of shard sketches into one population sketch."""
+    sketches = list(sketches)
+    if not sketches:
+        raise SamplingError("union_sketches needs at least one sketch")
+    return reduce(BottomKSketch.union, sketches)

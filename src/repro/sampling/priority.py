@@ -11,7 +11,7 @@ schemes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.errors import SamplingError
 from repro.utils.rng import Seed, as_generator
 from repro.utils.validation import check_positive_int
 
-__all__ = ["PrioritySample", "priority_sample"]
+__all__ = ["PrioritySample", "priority_sample", "priority_sample_indexed"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,50 @@ def priority_sample(
             continue
         u = max(float(rng.random()), 1e-300)
         scored.append((weight / u, key, weight))
+    scored.sort(key=lambda t: -t[0])
+    kept = scored[:k]
+    tau = scored[k][0] if len(scored) > k else 0.0
+    return PrioritySample(
+        keys=tuple(key for _, key, _ in kept),
+        weights=tuple(w for _, _, w in kept),
+        tau=tau,
+    )
+
+
+def priority_sample_indexed(
+    keys: Sequence[Hashable],
+    weights: Sequence[float],
+    k: int,
+    seed: Seed = None,
+    start: int = 0,
+    ranks: Optional[np.ndarray] = None,
+) -> PrioritySample:
+    """Priority sample with per-item uniforms pre-spawned by item index.
+
+    The indexed analogue of :func:`priority_sample`: item ``start + i``
+    draws the same uniform under any shard layout (the ranks come from
+    :func:`repro.sampling.bottom_k.indexed_ranks`), so the sample over a
+    population is a deterministic function of ``(weights, seed)`` alone —
+    shard streams and a single pass agree exactly.
+    """
+    from repro.sampling.bottom_k import indexed_ranks
+
+    k = check_positive_int(k, "k")
+    keys = list(keys)
+    if len(keys) != len(weights):
+        raise SamplingError(f"got {len(keys)} keys for {len(weights)} weights")
+    if ranks is None:
+        ranks = indexed_ranks(len(keys), seed, start=start)
+    elif len(ranks) != len(keys):
+        raise SamplingError(f"got {len(ranks)} ranks for {len(keys)} keys")
+    scored: list[tuple[float, Hashable, float]] = []
+    for key, weight, u in zip(keys, weights, ranks):
+        weight = float(weight)
+        if weight < 0 or not np.isfinite(weight):
+            raise SamplingError(f"weight for {key!r} must be finite and >= 0")
+        if weight == 0:
+            continue
+        scored.append((weight / float(u), key, weight))
     scored.sort(key=lambda t: -t[0])
     kept = scored[:k]
     tau = scored[k][0] if len(scored) > k else 0.0

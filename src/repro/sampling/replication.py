@@ -17,16 +17,24 @@ block layout entirely (ragged populations skip it automatically).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.data.block import SampleBlock, block_fast_path_enabled
 from repro.data.dataset import StreamDataset
+from repro.data.stream import TimeSeries
 from repro.errors import ValidationError
-from repro.sampling.simple import sample_indices, sample_series
+from repro.sampling.simple import sample_indices
 from repro.utils.rng import Seed, spawn_generators
 from repro.utils.validation import check_positive_int
 
-__all__ = ["TestPair", "generate_test_pairs"]
+__all__ = [
+    "TestPair",
+    "generate_test_pairs",
+    "replication_index_streams",
+    "ParentGather",
+]
 
 
 class TestPair:
@@ -92,6 +100,130 @@ class TestPair:
         return f"TestPair(index={self.index}, layout={layout})"
 
 
+def replication_index_streams(
+    n_dirty: int,
+    n_ideal: int,
+    n_pairs: int,
+    sample_size: int,
+    seed: Seed = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield the ``(dirty_indices, ideal_indices)`` draws of every replication.
+
+    This is the *entire* randomness of replication sampling, factored out so
+    every consumer draws it identically: :func:`generate_test_pairs` feeds
+    the indices to whole-population parents, while the streaming slab engine
+    uses the same draws to decide which few series to gather at all — the
+    two paths select bitwise-identical samples by construction. Each
+    replication consumes its own spawned stream (dirty draw first, then
+    ideal), so replication ``i`` is a function of ``(seed, i)`` alone.
+    """
+    n_pairs = check_positive_int(n_pairs, "n_pairs")
+    sample_size = check_positive_int(sample_size, "sample_size")
+    for rng in spawn_generators(seed, n_pairs):
+        d_idx = sample_indices(n_dirty, sample_size, rng)
+        i_idx = sample_indices(n_ideal, sample_size, rng)
+        yield d_idx, i_idx
+
+
+class ParentGather:
+    """A bounded stand-in for one side's parent population.
+
+    The block path materialises the *whole* population as one parent block
+    and replications gather into it. At out-of-core scale the streaming
+    engine instead gathers only the few series any replication actually
+    touches — at most ``R x B`` distinct of them, independent of the
+    population size — and this class replays the parent-block semantics on
+    that bounded subset: ``sample(idx)`` returns exactly the
+    :class:`SampleBlock` (or per-series data set) the full parent would
+    have produced for the same index draw, series-index vector included.
+
+    Parameters
+    ----------
+    n_total:
+        Size of the (un-materialised) parent population this gather stands
+        in for; indices are validated against it.
+    entries:
+        ``parent index -> TimeSeries`` for every gathered series.
+    uniform:
+        Whether the *full* parent population has a uniform series length —
+        the layout decision must match the population, not the gathered
+        subset, so both paths take the same block/per-series branch.
+    """
+
+    def __init__(
+        self,
+        n_total: int,
+        entries: Mapping[int, TimeSeries],
+        uniform: bool,
+    ):
+        self.n_total = check_positive_int(n_total, "n_total")
+        self._entries = dict(entries)
+        for idx in self._entries:
+            if not 0 <= idx < self.n_total:
+                raise ValidationError(
+                    f"gathered index {idx} out of range for {self.n_total} series"
+                )
+        self.uniform = bool(uniform)
+        self._block: Optional[SampleBlock] = None
+        self._rows: Optional[dict[int, int]] = None
+        if self.uniform and block_fast_path_enabled() and self._entries:
+            order = sorted(self._entries)
+            series = [self._entries[i] for i in order]
+            truth = None
+            if all(s.truth is not None for s in series):
+                truth = np.stack([s.truth for s in series])
+            self._block = SampleBlock(
+                values=np.stack([s.values for s in series]),
+                attributes=series[0].attributes,
+                nodes=tuple(s.node for s in series),
+                truth=truth,
+                indices=np.array(order, dtype=np.intp),
+            )
+            self._rows = {idx: row for row, idx in enumerate(order)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def gathered_indices(self) -> list[int]:
+        """Parent indices present in the gather, ascending."""
+        return sorted(self._entries)
+
+    @property
+    def block_layout(self) -> bool:
+        """Whether :meth:`sample` produces :class:`SampleBlock` parents."""
+        return self._block is not None
+
+    def sample(self, indices: Sequence[int], block: Optional[bool] = None):
+        """The sample the full parent would yield for *indices*.
+
+        ``block=None`` follows this gather's own layout; pass ``False`` to
+        force the per-series :class:`StreamDataset` form (needed when the
+        *other* side of a pair is ragged — ``generate_test_pairs`` only uses
+        the block layout when both sides have it).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        missing = [int(i) for i in idx if int(i) not in self._entries]
+        if missing:
+            raise ValidationError(
+                f"indices {missing[:5]} were not gathered; the gather only "
+                f"holds {len(self._entries)} of {self.n_total} series"
+            )
+        if block is None:
+            block = self._block is not None
+        if block:
+            if self._block is None:
+                raise ValidationError("this gather has no block layout")
+            return self._block.take([self._rows[int(i)] for i in idx])
+        return StreamDataset(self._entries[int(i)] for i in idx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParentGather(n_total={self.n_total}, gathered={len(self)}, "
+            f"layout={'block' if self.block_layout else 'series'})"
+        )
+
+
 def generate_test_pairs(
     dirty: StreamDataset,
     ideal: StreamDataset,
@@ -108,8 +240,10 @@ def generate_test_pairs(
 
     Uniform-length populations are converted to parent blocks once, and every
     replication is then an index gather (``SampleBlock.take``) into them; the
-    index streams are the very same ``rng.integers`` draws the per-series
-    path consumes, so the sampled values are identical in either layout.
+    index streams come from :func:`replication_index_streams` — shared with
+    the streaming slab engine — and are the very same ``rng.integers`` draws
+    the per-series path consumes, so the sampled values are identical in
+    either layout.
     """
     n_pairs = check_positive_int(n_pairs, "n_pairs")
     sample_size = check_positive_int(sample_size, "sample_size")
@@ -117,13 +251,19 @@ def generate_test_pairs(
     if block_fast_path_enabled():
         dirty_block = dirty.try_to_block()
         ideal_block = ideal.try_to_block()
-    streams = spawn_generators(seed, n_pairs)
-    for i, rng in enumerate(streams):
+    draws = replication_index_streams(
+        len(dirty), len(ideal), n_pairs, sample_size, seed=seed
+    )
+    for i, (d_idx, i_idx) in enumerate(draws):
         if dirty_block is not None and ideal_block is not None:
-            di = dirty_block.take(sample_indices(len(dirty), sample_size, rng))
-            dii = ideal_block.take(sample_indices(len(ideal), sample_size, rng))
-            yield TestPair(index=i, dirty_block=di, ideal_block=dii)
+            yield TestPair(
+                index=i,
+                dirty_block=dirty_block.take(d_idx),
+                ideal_block=ideal_block.take(i_idx),
+            )
         else:
-            di = sample_series(dirty, sample_size, rng)
-            dii = sample_series(ideal, sample_size, rng)
-            yield TestPair(index=i, dirty=di, ideal=dii)
+            yield TestPair(
+                index=i,
+                dirty=dirty.subset(d_idx.tolist()),
+                ideal=ideal.subset(i_idx.tolist()),
+            )

@@ -14,7 +14,13 @@ import numpy as np
 
 Seed = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["Seed", "as_generator", "spawn_sequences", "spawn_generators"]
+__all__ = [
+    "Seed",
+    "as_generator",
+    "snapshot_seed",
+    "spawn_sequences",
+    "spawn_generators",
+]
 
 
 def as_generator(seed: Seed = None) -> np.random.Generator:
@@ -27,6 +33,28 @@ def as_generator(seed: Seed = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def snapshot_seed(seed: Seed) -> Seed:
+    """A replay-safe snapshot of *seed* for components that re-derive streams.
+
+    ``SeedSequence.spawn`` advances a counter on the parent, so a sequence
+    that was already spawned from (say, by a prior ``build_population``
+    call) would hand out *different* children on the next derivation. The
+    snapshot is a fresh sequence with the same entropy/spawn-key and a
+    zeroed child counter: every derivation from it replays children
+    ``0..n`` — the unspawned-sequence behaviour the determinism contracts
+    assume. Ints and ``None`` are immutable and pass through; a live
+    ``Generator`` cannot be snapshotted and is returned as-is for the
+    caller to reject if it needs replay.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed.entropy,
+            spawn_key=seed.spawn_key,
+            pool_size=seed.pool_size,
+        )
+    return seed
 
 
 def spawn_sequences(seed: Seed, n: int) -> list[np.random.SeedSequence]:

@@ -205,7 +205,7 @@ class TestFullRunEquivalence:
         backends = {
             "serial": SerialBackend,
             "thread": lambda: ThreadBackend(2),
-            "process": lambda: ProcessBackend(2),
+            "process": lambda: ProcessBackend(2, min_units=1),
         }
         monkeypatch.setenv("REPRO_BLOCK", "0")
         reference = ExperimentRunner(

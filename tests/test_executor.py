@@ -62,6 +62,59 @@ class TestBackendPrimitives:
         assert default_worker_count() >= 1
 
 
+class TestProcessMinUnits:
+    """The small-batch serial fallback of the process backend."""
+
+    def test_default_threshold_is_worker_independent(self, monkeypatch):
+        # An absolute default: scaling with the worker count would make
+        # more cores more likely to silently serialise a typical R=50 run.
+        monkeypatch.delenv("REPRO_PROCESS_MIN_UNITS", raising=False)
+        assert ProcessBackend(n_workers=2).resolved_min_units() == 16
+        assert ProcessBackend(n_workers=32).resolved_min_units() == 16
+
+    def test_explicit_min_units_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_MIN_UNITS", "100")
+        assert ProcessBackend(n_workers=2, min_units=3).resolved_min_units() == 3
+        assert ProcessBackend(n_workers=2).resolved_min_units() == 100
+
+    def test_env_threshold_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_MIN_UNITS", "soon")
+        with pytest.raises(ExperimentError):
+            ProcessBackend(n_workers=2).resolved_min_units()
+        monkeypatch.setenv("REPRO_PROCESS_MIN_UNITS", "0")
+        assert ProcessBackend(n_workers=2).resolved_min_units() == 1
+        with pytest.raises(Exception):
+            ProcessBackend(n_workers=2, min_units=0)
+
+    def test_small_batches_fall_back_to_serial(self, monkeypatch):
+        # Below the threshold the map must not fork a pool at all: an
+        # unpicklable work function would explode inside Pool.map, but runs
+        # fine in the serial fallback.
+        monkeypatch.delenv("REPRO_PROCESS_MIN_UNITS", raising=False)
+        backend = ProcessBackend(n_workers=2)
+        unpicklable = lambda x: x * x  # noqa: E731
+        assert backend.map(unpicklable, [1, 2, 3]) == [1, 4, 9]
+
+    def test_fallback_results_identical_to_pool(self):
+        items = list(range(5))
+        fallback = ProcessBackend(n_workers=2, min_units=64).map(_square, items)
+        pooled = ProcessBackend(n_workers=2, min_units=1).map(_square, items)
+        assert fallback == pooled == [x * x for x in items]
+
+    def test_pipeline_exempts_default_fallback(self, monkeypatch):
+        # Sharded stages are few, coarse units — the count heuristic that
+        # protects the cheap replication loop must not serialise them.
+        from repro.core.pipeline import Pipeline
+
+        monkeypatch.delenv("REPRO_PROCESS_MIN_UNITS", raising=False)
+        assert Pipeline("process:2").backend.resolved_min_units() == 1
+        # An explicit threshold (arg or env) is respected as given.
+        pinned = Pipeline(ProcessBackend(2, min_units=7))
+        assert pinned.backend.resolved_min_units() == 7
+        monkeypatch.setenv("REPRO_PROCESS_MIN_UNITS", "9")
+        assert Pipeline("process:2").backend.resolved_min_units() == 9
+
+
 class TestBackendSpecParsing:
     def test_plain_names(self):
         for name in BACKEND_NAMES:
@@ -179,7 +232,7 @@ class TestRunDeterminism:
 
     @pytest.mark.parametrize(
         "backend",
-        [ThreadBackend(n_workers=2), ProcessBackend(n_workers=2)],
+        [ThreadBackend(n_workers=2), ProcessBackend(n_workers=2, min_units=1)],
         ids=lambda b: b.name,
     )
     def test_bitwise_identical_to_serial(self, tiny_bundle, reference, backend):

@@ -1,0 +1,190 @@
+"""Mergeable histograms and the one-pass streaming distortion.
+
+The load-bearing contract: on a frozen :class:`HistogramGrid`, folding a
+sample slab by slab (in any slicing, with any merge tree) produces the
+histogram the one-shot binner emits — *bitwise*, because bin assignment is
+elementwise and integer counts add exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distortion import (
+    StreamingDistortion,
+    statistical_distortion_batch,
+    statistical_distortion_stream,
+)
+from repro.distance.emd import EarthMoverDistance
+from repro.distance.histogram import (
+    HistogramBinner,
+    clear_frame_cache,
+)
+from repro.errors import DistanceError
+
+
+def _sample(n, d, seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return scale * rng.gamma(1.5, 2.0, size=(n, d)) + rng.normal(0, 1, size=(n, d))
+
+
+class TestMergeableCounts:
+    @pytest.mark.parametrize("binning", ["uniform", "quantile"])
+    @pytest.mark.parametrize("cuts", [(100,), (1, 17, 300), (250, 251)])
+    def test_slab_folding_matches_one_shot_bitwise(self, binning, cuts):
+        p = _sample(400, 3, seed=0)
+        qs = [_sample(400, 3, seed=1), _sample(380, 3, seed=2, scale=1.4)]
+        binner = HistogramBinner(n_bins=8, binning=binning)
+        hp_ref, hqs_ref = binner.histogram_group(p, qs)
+
+        grid = binner.make_grid(p, qs)
+        acc = grid.accumulator()
+        bounds = [0, *cuts, len(p)]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            acc.add(p[a:b])
+        hp = acc.finalize()
+        assert np.array_equal(hp.keys, hp_ref.keys)
+        assert np.array_equal(hp.probs, hp_ref.probs)
+        assert np.array_equal(hp.centers, hp_ref.centers)
+        for q, hq_ref in zip(qs, hqs_ref):
+            hq = grid.histogram(q)
+            assert np.array_equal(hq.keys, hq_ref.keys)
+            assert np.array_equal(hq.probs, hq_ref.probs)
+
+    def test_merge_tree_order_never_matters(self):
+        p = _sample(300, 2, seed=3)
+        grid = HistogramBinner(n_bins=6, binning="uniform").make_grid(p)
+        whole = grid.accumulator().add(p).finalize()
+        left = grid.accumulator().add(p[:47])
+        mid = grid.accumulator().add(p[47:203])
+        right = grid.accumulator().add(p[203:])
+        merged = right.merge(left).merge(mid).finalize()
+        assert np.array_equal(merged.keys, whole.keys)
+        assert np.array_equal(merged.probs, whole.probs)
+
+    def test_empty_slabs_are_neutral(self):
+        p = _sample(50, 2, seed=4)
+        grid = HistogramBinner(n_bins=4).make_grid(p)
+        acc = grid.accumulator().add(p[:0]).add(p).add(p[:0])
+        assert acc.total == 50
+        assert np.array_equal(acc.finalize().probs, grid.histogram(p).probs)
+
+    def test_mismatched_grids_refuse_to_merge(self):
+        p = _sample(60, 2, seed=5)
+        binner = HistogramBinner(n_bins=4)
+        a = binner.make_grid(p).accumulator().add(p)
+        b = binner.make_grid(2.0 * p).accumulator().add(p)
+        with pytest.raises(DistanceError):
+            a.merge(b)
+        with pytest.raises(DistanceError):
+            binner.make_grid(p).accumulator().finalize()  # empty
+
+    def test_quantile_grids_cannot_come_from_stats(self):
+        binner = HistogramBinner(n_bins=4, binning="quantile")
+        with pytest.raises(DistanceError):
+            binner.grid_from_stats(
+                np.zeros(2), np.ones(2), np.zeros(2), np.ones(2)
+            )
+
+
+class TestFrameMemo:
+    def test_shared_reference_frame_is_memoised(self):
+        clear_frame_cache()
+        binner = HistogramBinner(n_bins=8)
+        p = _sample(200, 3, seed=6)
+        shift1, scale1 = binner.reference_frame(p)
+        shift2, scale2 = binner.reference_frame(p.copy())
+        # Same content -> the very same cached arrays, no recomputation.
+        assert shift1 is shift2 and scale1 is scale2
+
+    def test_different_content_gets_different_frame(self):
+        clear_frame_cache()
+        binner = HistogramBinner(n_bins=8)
+        p = _sample(100, 2, seed=7)
+        shift1, _ = binner.reference_frame(p)
+        shift2, _ = binner.reference_frame(p + 1.0)
+        assert not np.array_equal(shift1, shift2)
+
+    def test_cache_never_changes_results(self):
+        clear_frame_cache()
+        binner = HistogramBinner(n_bins=8)
+        p = _sample(150, 3, seed=8)
+        q = _sample(150, 3, seed=9)
+        first = binner.histogram_pair(p, q)
+        second = binner.histogram_pair(p, q)  # frame served from cache
+        assert np.array_equal(first[0].probs, second[0].probs)
+        assert np.array_equal(first[1].probs, second[1].probs)
+        clear_frame_cache()
+
+
+class TestStreamingDistortion:
+    def _slabs(self, rows, width):
+        return [rows[a : a + width] for a in range(0, len(rows), width)]
+
+    def test_exact_agreement_without_standardisation(self):
+        # With an identity frame the streamed grid (exact min/max folds)
+        # equals the pooled grid whenever candidates stay inside the
+        # reference support -> the distortions agree bitwise.
+        p = _sample(500, 2, seed=10)
+        q_inside = p[np.random.default_rng(0).permutation(len(p))][:400]
+        distance = EarthMoverDistance(n_bins=8, standardize=False, exact_1d=False)
+        pooled = distance.pairwise(p, [q_inside])
+        # 500/63 and 400/50 both give 8 aligned slab pairs.
+        streamed = statistical_distortion_stream(
+            self._slabs(p, 63),
+            zip(self._slabs(p, 63), [[s] for s in self._slabs(q_inside, 50)]),
+            n_candidates=1,
+            distance=distance,
+        )
+        assert streamed == pooled
+
+    def test_close_agreement_with_standardisation(self):
+        p = _sample(600, 3, seed=11)
+        qs = [_sample(600, 3, seed=12), p + 0.01]
+        distance = EarthMoverDistance(n_bins=8)
+        # A small margin gives out-of-reference-support candidate mass its
+        # own bins instead of clipping it into the edge bins.
+        stream = StreamingDistortion(2, distance=distance)
+        for slab in self._slabs(p, 100):
+            stream.observe_reference(slab)
+        stream.freeze_grid(support_margin=0.25)
+        for pr, q0, q1 in zip(
+            self._slabs(p, 100), self._slabs(qs[0], 100), self._slabs(qs[1], 100)
+        ):
+            stream.observe(pr, [q0, q1])
+        streamed = stream.finalize()
+        pooled = statistical_distortion_batch(
+            _as_dataset(p), [_as_dataset(q) for q in qs], distance=distance
+        )
+        # Same panel ordering and the near-identical candidate stays tiny.
+        assert streamed[1] < streamed[0]
+        for s, r in zip(streamed, pooled):
+            assert s == pytest.approx(r, rel=0.35, abs=0.02)
+
+    def test_misuse_raises(self):
+        distance = EarthMoverDistance(n_bins=4)
+        stream = StreamingDistortion(1, distance=distance)
+        with pytest.raises(DistanceError):
+            stream.freeze_grid()  # nothing observed
+        stream.observe_reference(_sample(10, 2, seed=13))
+        stream.freeze_grid()
+        with pytest.raises(DistanceError):
+            stream.observe_reference(_sample(5, 2, seed=14))  # already frozen
+        with pytest.raises(DistanceError):
+            stream.observe(_sample(5, 2, seed=15), [])  # wrong panel size
+        with pytest.raises(DistanceError):
+            StreamingDistortion(0, distance=distance)
+        with pytest.raises(DistanceError):
+            StreamingDistortion(
+                1, distance=EarthMoverDistance(binning="quantile")
+            )
+
+
+def _as_dataset(rows):
+    """Wrap pooled rows as a single-series dataset for the batch API."""
+    from repro.data.dataset import StreamDataset
+    from repro.data.stream import TimeSeries
+    from repro.data.topology import NodeId
+
+    return StreamDataset([TimeSeries(NodeId(0, 0, 0), rows)])

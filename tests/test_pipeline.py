@@ -104,7 +104,7 @@ class TestPipelineRun:
         return ShardedStage("demo", fn, lambda s: (s, data[s.start : s.stop]))
 
     @pytest.mark.parametrize(
-        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2, min_units=1)]
     )
     def test_results_flatten_in_item_order(self, backend):
         data = list(range(23))
@@ -157,7 +157,7 @@ class TestPopulationDeterminism:
             scale="tiny", seed=3, backend=ThreadBackend(3), shard_size=7
         )
         process = build_population(
-            scale="tiny", seed=3, backend=ProcessBackend(2), shard_size=13
+            scale="tiny", seed=3, backend=ProcessBackend(2, min_units=1), shard_size=13
         )
         reference = serial.fingerprint()
         assert thread.fingerprint() == reference

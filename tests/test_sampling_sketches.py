@@ -1,0 +1,136 @@
+"""Distributed-sketch properties: shard unions and unbiased subset sums.
+
+The indexed builds draw every item's rank from its own stream spawned by
+global item index, so sketching shard streams and unioning is *exactly*
+sketching the whole population — the distributed-collection setting of the
+paper's references [4] (bottom-k) and [5] (priority sampling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling import (
+    BottomKSketch,
+    PrioritySample,
+    indexed_ranks,
+    priority_sample,
+    priority_sample_indexed,
+    union_sketches,
+)
+
+
+def _weights(n, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.gamma(0.8, 2.0, size=n)
+    w[rng.random(n) < 0.15] = 0.0  # zero-weight items are never sketched
+    return w
+
+
+class TestShardUnionIdentity:
+    @pytest.mark.parametrize("cuts", [(20,), (7, 31), (1, 2, 3, 50)])
+    def test_union_of_shard_sketches_is_sketch_of_union(self, cuts):
+        n, k, seed = 60, 8, 42
+        weights = _weights(n, 3)
+        keys = [f"s{i}" for i in range(n)]
+        whole = BottomKSketch.from_weights(keys, weights, k=k, seed=seed)
+        bounds = [0, *cuts, n]
+        shards = [
+            BottomKSketch.from_weights(
+                keys[a:b], weights[a:b], k=k, seed=seed, start=a
+            )
+            for a, b in zip(bounds[:-1], bounds[1:])
+        ]
+        merged = union_sketches(shards)
+        assert merged.keys == whole.keys
+        assert merged.tau == whole.tau
+        for key in whole.keys:
+            assert merged.adjusted_weight(key) == whole.adjusted_weight(key)
+
+    def test_precomputed_ranks_match_per_shard_spawning(self):
+        n, seed = 25, 9
+        weights = _weights(n, 1)
+        ranks = indexed_ranks(n, seed)
+        for a, b in [(0, 10), (10, 25)]:
+            assert np.array_equal(ranks[a:b], indexed_ranks(b - a, seed, start=a))
+
+    def test_priority_sample_layout_invariant(self):
+        n, k, seed = 40, 6, 7
+        weights = _weights(n, 5)
+        keys = list(range(n))
+        ranks = indexed_ranks(n, seed)
+        whole = priority_sample_indexed(keys, weights, k=k, seed=seed)
+        sliced = priority_sample_indexed(
+            keys, weights, k=k, ranks=ranks
+        )
+        assert whole.keys == sliced.keys
+        assert whole.tau == sliced.tau
+
+    def test_union_rejects_mismatched_k(self):
+        a = BottomKSketch.from_weights([1, 2], [1.0, 2.0], k=2, seed=0)
+        b = BottomKSketch.from_weights([3], [1.0], k=3, seed=0, start=2)
+        with pytest.raises(SamplingError):
+            a.union(b)
+        with pytest.raises(SamplingError):
+            union_sketches([])
+
+
+class TestUnbiasedEstimation:
+    """Rank-conditioned adjusted weights are unbiased for any subset sum."""
+
+    def _mean_estimate(self, build, predicate, n_trials=400):
+        return float(
+            np.mean([build(seed).estimate_subset_sum(predicate) for seed in range(n_trials)])
+        )
+
+    def test_bottom_k_subset_sum_unbiased(self):
+        n, k = 30, 10
+        weights = np.linspace(0.2, 3.0, n)
+        keys = list(range(n))
+        subset = lambda key: key % 3 == 0  # noqa: E731
+        truth = float(sum(w for key, w in zip(keys, weights) if subset(key)))
+        est = self._mean_estimate(
+            lambda seed: BottomKSketch.from_weights(keys, weights, k=k, seed=seed),
+            subset,
+        )
+        assert est == pytest.approx(truth, rel=0.15)
+
+    def test_priority_subset_sum_unbiased(self):
+        n, k = 30, 10
+        weights = np.linspace(0.2, 3.0, n)
+        keys = list(range(n))
+        subset = lambda key: key < 12  # noqa: E731
+        truth = float(weights[:12].sum())
+        est = self._mean_estimate(
+            lambda seed: priority_sample_indexed(keys, weights, k=k, seed=seed),
+            subset,
+        )
+        assert est == pytest.approx(truth, rel=0.15)
+
+    def test_small_population_estimates_exact(self):
+        # Fewer positive-weight items than k: everything is retained and the
+        # estimators are exact, not just unbiased.
+        keys = ["a", "b", "c"]
+        weights = [1.0, 0.0, 2.5]
+        sketch = BottomKSketch.from_weights(keys, weights, k=5, seed=1)
+        assert sketch.estimate_total() == pytest.approx(3.5)
+        sample = priority_sample_indexed(keys, weights, k=5, seed=1)
+        assert sample.tau == 0.0
+        assert sample.estimate_total() == pytest.approx(3.5)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(SamplingError):
+            BottomKSketch.from_weights(["a"], [-1.0], k=2, seed=0)
+        with pytest.raises(SamplingError):
+            priority_sample_indexed(["a"], [np.inf], k=2, seed=0)
+        with pytest.raises(SamplingError):
+            BottomKSketch.from_weights(["a", "b"], [1.0], k=2, seed=0)
+
+    def test_sequential_builder_still_works(self):
+        # The legacy single-stream builders remain supported alongside.
+        sketch = BottomKSketch.build([("a", 1.0), ("b", 2.0)], k=1, seed=0)
+        assert len(sketch) == 1
+        sample = priority_sample([("a", 1.0), ("b", 2.0)], k=1, seed=0)
+        assert isinstance(sample, PrioritySample)

@@ -1,0 +1,158 @@
+"""SlabFeed: recipe materialisation, spill round-trips, time slabs, ring."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
+from repro.data.generator import GeneratorConfig
+from repro.data.slab import SlabFeed, load_slab
+from repro.errors import DataShapeError, ValidationError
+from repro.experiments.config import SCALES, build_population
+
+TINY = SCALES["tiny"].generator
+RAGGED = GeneratorConfig(
+    n_rnc=2, towers_per_rnc=5, sectors_per_tower=10, series_length=60, min_length=40
+)
+
+
+def _series_equal(a, b):
+    return (
+        a.node == b.node
+        and np.array_equal(a.values, b.values, equal_nan=True)
+        and np.array_equal(a.truth, b.truth)
+    )
+
+
+class TestFeedIdentity:
+    def test_feed_matches_materialised_population(self, tiny_bundle):
+        with SlabFeed(TINY, seed=0) as feed:
+            series = [s for _, chunk in feed.iter_series() for s in chunk]
+        population = tiny_bundle.population
+        assert len(series) == len(population)
+        assert all(_series_equal(a, b) for a, b in zip(series, population))
+
+    def test_spill_round_trip_is_exact(self):
+        with SlabFeed(TINY, seed=0) as feed:
+            fresh = [s for _, chunk in feed.iter_series(spill=True) for s in chunk]
+            assert feed.spilled_bytes() > 0
+            # Second pass reads the store, not the generator.
+            stored = [s for src in feed.sources for s in load_slab(src)]
+            assert all(_series_equal(a, b) for a, b in zip(fresh, stored))
+
+    def test_shard_layout_is_pure_performance(self):
+        with SlabFeed(TINY, seed=0, shard_size=7, spill=False) as a, SlabFeed(
+            TINY, seed=0, shard_size=33, spill=False
+        ) as b:
+            series_a = [s for _, chunk in a.iter_series(spill=False) for s in chunk]
+            series_b = [s for _, chunk in b.iter_series(spill=False) for s in chunk]
+        assert len(a.sources) != len(b.sources)
+        assert all(_series_equal(x, y) for x, y in zip(series_a, series_b))
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadBackend(2), ProcessBackend(2, min_units=1)],
+        ids=lambda b: b.name,
+    )
+    def test_map_fans_sources_across_backends(self, backend):
+        with SlabFeed(TINY, seed=0, backend=backend, spill=False) as feed:
+            counts = feed.map(_count_series)
+        assert sum(counts) == feed.n_series
+
+    def test_ragged_plan_prescans_lengths(self):
+        bundle = build_population(scale="tiny", seed=0, generator_config=RAGGED)
+        with SlabFeed(RAGGED, seed=0, spill=False) as feed:
+            assert not feed.uniform
+            expected = [s.length for s in bundle.population]
+            assert feed.lengths.tolist() == expected
+            assert feed.max_length == max(expected)
+
+    def test_generator_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            SlabFeed(TINY, seed=np.random.default_rng(3))
+
+    def test_spawned_from_seedsequence_still_replays(self):
+        # A SeedSequence's spawn counter mutates on use; the feed must
+        # snapshot it so prior spawns by the caller cannot shift its streams.
+        fresh = np.random.SeedSequence(7)
+        used = np.random.SeedSequence(7)
+        used.spawn(5)  # caller consumed some children first
+        with SlabFeed(TINY, seed=fresh, spill=False) as a, SlabFeed(
+            TINY, seed=used, spill=False
+        ) as b:
+            series_a = [s for _, c in a.iter_series(spill=False) for s in c]
+            series_b = [s for _, c in b.iter_series(spill=False) for s in c]
+        assert all(_series_equal(x, y) for x, y in zip(series_a, series_b))
+
+
+def _count_series(source):
+    """Module-level so the process backend can pickle it."""
+    return len(load_slab(source, spill=False))
+
+
+class TestTimeSlabs:
+    def test_slabs_tile_the_time_axis_with_overlap(self):
+        with SlabFeed(TINY, seed=0, shard_size=50) as feed:
+            slabs = list(feed.iter_time_slabs(width=16, window=5))
+        # 100 series in 2 shards, 60 steps in ceil(60/16) = 4 slabs each.
+        assert len(slabs) == 2 * 4
+        by_shard: dict[int, list] = {}
+        for slab in slabs:
+            by_shard.setdefault(slab.series_start, []).append(slab)
+        for chunk in by_shard.values():
+            assert [s.start for s in chunk] == [0, 16, 32, 48]
+            assert chunk[-1].stop == 60
+            for s in chunk:
+                assert s.lo == max(0, s.start - 5)
+                assert s.block.length == s.stop - s.lo
+                assert s.block.n_series == 50
+
+    def test_slab_values_match_population_window(self, tiny_bundle):
+        with SlabFeed(TINY, seed=0, shard_size=100) as feed:
+            slab = next(feed.iter_time_slabs(width=16, window=4))
+        reference = np.stack(
+            [s.values for s in tiny_bundle.population.series[:100]]
+        )[:, slab.lo : slab.stop]
+        assert np.array_equal(slab.block.values, reference, equal_nan=True)
+        assert slab.width == 16
+
+    def test_ring_is_bounded(self):
+        with SlabFeed(TINY, seed=0, shard_size=50, ring_capacity=3) as feed:
+            for _ in feed.iter_time_slabs(width=10):
+                assert len(feed.ring) <= 3
+            assert len(feed.ring) == 3
+            # Ring holds the most recent slabs, newest last.
+            assert feed.ring[-1].stop == 60
+
+    def test_ragged_time_slabs_rejected(self):
+        with SlabFeed(RAGGED, seed=0, spill=False) as feed:
+            with pytest.raises(DataShapeError):
+                next(feed.iter_time_slabs(width=8))
+
+    def test_bad_bounds_rejected(self):
+        with SlabFeed(TINY, seed=0, spill=False) as feed:
+            with pytest.raises(Exception):
+                next(feed.iter_time_slabs(width=0))
+            with pytest.raises(ValidationError):
+                next(feed.iter_time_slabs(width=8, window=-1))
+
+
+class TestLifecycle:
+    def test_cleanup_removes_owned_spill_dir(self):
+        feed = SlabFeed(TINY, seed=0)
+        spill_dir = feed.spill_dir
+        list(feed.iter_series())
+        assert os.path.isdir(spill_dir)
+        feed.cleanup()
+        assert not os.path.isdir(spill_dir)
+
+    def test_external_spill_dir_is_kept(self, tmp_path):
+        feed = SlabFeed(TINY, seed=0, spill_dir=str(tmp_path))
+        list(feed.iter_series())
+        assert feed.spilled_bytes() > 0
+        feed.cleanup()
+        assert os.path.isdir(str(tmp_path))
+        assert feed.spilled_bytes() > 0

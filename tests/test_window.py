@@ -106,7 +106,7 @@ class TestShardedIngestion:
         assert out == expected
 
     @pytest.mark.parametrize(
-        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+        "backend", [SerialBackend(), ThreadBackend(2), ProcessBackend(2, min_units=1)]
     )
     def test_map_windows_matches_serial_iteration(self, series, backend):
         w = WindowHistory(series, window=3)
