@@ -59,6 +59,7 @@ from repro.core import (
     StrategyOutcome,
     StrategySummary,
     StreamingDistortion,
+    slab_streams,
     StreamingExperiment,
     StreamingResult,
     ThreadBackend,
@@ -90,6 +91,7 @@ from repro.data import (
     TimeSeries,
 )
 from repro.distance import (
+    DISTANCES,
     EarthMoverDistance,
     JensenShannonDistance,
     KLDivergence,
@@ -97,6 +99,7 @@ from repro.distance import (
     MahalanobisDistance,
     MarginalEmd,
     SlicedEmd,
+    distance_by_name,
     emd_1d,
     pairwise_emd,
 )
@@ -177,6 +180,8 @@ __all__ = [
     "JensenShannonDistance",
     "KolmogorovSmirnovDistance",
     "MahalanobisDistance",
+    "DISTANCES",
+    "distance_by_name",
     # core
     "GlitchWeights",
     "glitch_index",

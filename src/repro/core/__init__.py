@@ -7,6 +7,7 @@ along those axes.
 from repro.core.cost import CostSweepResult, cost_sweep
 from repro.core.distortion import (
     StreamingDistortion,
+    slab_streams,
     statistical_distortion,
     statistical_distortion_batch,
     statistical_distortion_stream,
@@ -67,6 +68,7 @@ __all__ = [
     "statistical_distortion_batch",
     "statistical_distortion_stream",
     "StreamingDistortion",
+    "slab_streams",
     "ExperimentConfig",
     "ExperimentRunner",
     "ExperimentResult",

@@ -16,28 +16,37 @@ import numpy as np
 from repro.data.block import SampleBlock
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
-from repro.distance.emd import EarthMoverDistance, emd_between_histograms_batch
+from repro.distance.emd import EarthMoverDistance
 from repro.errors import DistanceError
 from repro.glitches.detectors import ScaleTransform
+from repro.stats.ecdf import EcdfSketch
 
 __all__ = [
     "statistical_distortion",
     "statistical_distortion_batch",
     "StreamingDistortion",
     "statistical_distortion_stream",
+    "slab_streams",
 ]
 
 #: Either layout of one replication sample.
 Sample = Union[StreamDataset, SampleBlock]
 
 
-def _pooled_analysis(sample: Sample, transform: Optional[ScaleTransform]) -> np.ndarray:
-    """Complete analysis-scale rows of a data set or sample block.
+def _pooled_analysis(
+    sample: Sample,
+    transform: Optional[ScaleTransform],
+    keep_partial: bool = False,
+) -> np.ndarray:
+    """Analysis-scale rows of a data set or sample block.
 
     The block branch transforms the whole ``(n, T, v)`` tensor in place of
     per-series passes and reads the pooled matrix straight off the block
     columns; row order and every cell match the per-series pooling, so the
-    downstream distances are bitwise-identical across layouts.
+    downstream distances are bitwise-identical across layouts. Rows with a
+    NaN are dropped by default (the complete-case semantics multivariate
+    binning needs); ``keep_partial`` keeps them for consumers with
+    per-attribute NaN handling (the ECDF-sketch distances).
     """
     if isinstance(sample, SampleBlock):
         values = (
@@ -46,9 +55,11 @@ def _pooled_analysis(sample: Sample, transform: Optional[ScaleTransform]) -> np.
             else sample.values
         )
         flat = values.reshape(-1, values.shape[-1])
+        if keep_partial:
+            return flat
         return flat[~np.isnan(flat).any(axis=1)]
     scaled = transform.apply_dataset(sample) if transform is not None else sample
-    return scaled.pooled(dropna="any")
+    return scaled.pooled(dropna="none" if keep_partial else "any")
 
 
 def statistical_distortion(
@@ -108,13 +119,64 @@ def statistical_distortion_batch(
     :func:`statistical_distortion`, which covers only that pair's support.
     The exact univariate path bins nothing and is panel-independent either
     way.
+
+    **NaN semantics** follow the distance's ``complete_case`` declaration:
+    complete-case distances (the default — multivariate binning needs whole
+    rows) see NaN-bearing rows dropped here; distances with per-attribute
+    NaN handling (KS) receive the rows whole, so a cleaner that blanks one
+    column still gets scored on the remaining attributes exactly as the
+    distance's own documentation promises.
     """
     distance = distance or EarthMoverDistance()
-    p = _pooled_analysis(dirty, transform)
-    qs = [_pooled_analysis(t, transform) for t in treated_seq]
+    keep_partial = not getattr(distance, "complete_case", True)
+    p = _pooled_analysis(dirty, transform, keep_partial=keep_partial)
+    qs = [
+        _pooled_analysis(t, transform, keep_partial=keep_partial)
+        for t in treated_seq
+    ]
     if p.shape[0] == 0 or any(q.shape[0] == 0 for q in qs):
         raise DistanceError("no complete records to compare")
     return [float(d) for d in distance.pairwise(p, qs)]
+
+
+def slab_streams(
+    reference: np.ndarray,
+    candidates: Sequence[np.ndarray],
+    reference_width: int,
+    candidate_width: Optional[int] = None,
+) -> tuple[list[np.ndarray], "list[tuple[np.ndarray, list[np.ndarray]]]"]:
+    """Cut pooled arrays into the two aligned streams
+    :func:`statistical_distortion_stream` consumes.
+
+    Convenience for call sites that hold in-memory rows (benches, tests,
+    small jobs): the reference is sliced at ``reference_width``, every
+    candidate at ``candidate_width`` (defaulting to the reference width),
+    and shorter streams are padded with **empty** slabs — empty slabs are
+    accumulation no-ops, so nothing is silently truncated when the slab
+    counts differ. Returns ``(reference_slabs, paired_slabs)``.
+    """
+    reference = np.asarray(reference, dtype=float)
+    candidates = [np.asarray(q, dtype=float) for q in candidates]
+    if reference_width < 1 or (candidate_width is not None and candidate_width < 1):
+        raise DistanceError("slab widths must be positive")
+    cand_width = candidate_width or reference_width
+    ref_slabs = [
+        reference[a : a + reference_width]
+        for a in range(0, len(reference), reference_width)
+    ] or [reference[:0]]
+    cand_slabs = [
+        [q[a : a + cand_width] for a in range(0, len(q), cand_width)] or [q[:0]]
+        for q in candidates
+    ]
+    n = max(len(ref_slabs), *(len(s) for s in cand_slabs)) if cand_slabs else len(ref_slabs)
+    ref_slabs = ref_slabs + [reference[:0]] * (n - len(ref_slabs))
+    cand_slabs = [
+        s + [q[:0]] * (n - len(s)) for q, s in zip(candidates, cand_slabs)
+    ]
+    paired = [
+        (ref_slabs[i], [s[i] for s in cand_slabs]) for i in range(n)
+    ]
+    return ref_slabs, paired
 
 
 class StreamingDistortion:
@@ -128,80 +190,126 @@ class StreamingDistortion:
     1. ``observe_reference`` folds reference slabs into a tiny *sketch* —
        running sum/sum-of-squares for the standardisation frame and exact
        running min/max for the support bounds;
-    2. ``freeze_grid`` turns the sketch into a shared
+    2. ``freeze_grid`` fixes the accumulation mode the distance asked for
+       (:meth:`~repro.distance.base.Distance.stream_mode`): **histogram**
+       distances (multivariate EMD, KL, JS) get a shared
        :class:`~repro.distance.histogram.HistogramGrid` (uniform edges only —
-       quantile edges need the pooled sample by definition);
+       quantile edges need the pooled sample by definition); **ECDF**
+       distances (KS, exact 1-D EMD) get per-attribute
+       :class:`~repro.stats.ecdf.EcdfSketch` panels and need no grid;
     3. ``observe`` folds ``(reference_slab, candidate_slabs)`` pairs into
-       mergeable integer bin counts — the single pass over the candidate
-       data;
-    4. ``finalize`` cancels the bin-for-bin shared mass and solves the
-       residual transport problem **once**, batched across the whole panel.
+       the mergeable summaries — the single pass over the candidate data;
+    4. ``finalize`` hands the accumulated summaries to the distance —
+       one residual-transport solve batched across the panel for EMD,
+       smoothed bin-mass divergences for KL/JS, sketch CDF gaps for KS.
 
-    Count folding on the frozen grid is bitwise-exact (integer counts,
-    elementwise bin assignment — the property ``tests`` pin down). Two
-    deliberate approximations separate the result from the pooled path:
-    the frame is a streamed moment estimate (ulp-level accumulation error),
-    and the grid spans the *reference* support only — the pooled path's
-    grid spans the union of reference and candidates, so candidate mass
-    outside the reference range clips into the boundary bins here. When
-    candidates can move mass beyond the reference range (imputation past
-    the observed maximum, say), pass ``support_margin`` to
-    :meth:`freeze_grid` to buy headroom; within-support streams agree with
-    the pooled path exactly up to the frame ulps.
+    Count folding on a frozen grid and exact-mode sketch merging are both
+    bitwise-exact (the property tests pin this down). What separates a
+    streamed value from its pooled counterpart, per mode:
+
+    * **histogram**: the frame is a streamed moment estimate (ulp-level
+      accumulation error), and the grid spans the *reference* support only —
+      the pooled path's grid spans the union of reference and candidates,
+      so candidate mass outside the reference range clips into the boundary
+      bins here. When candidates can move mass beyond the reference range
+      (imputation past the observed maximum, say), pass ``support_margin``
+      to :meth:`freeze_grid` to buy headroom; within-support streams agree
+      with the pooled path exactly up to the frame ulps — bitwise with
+      ``standardize=False``.
+    * **ecdf**: exact-mode sketches (``sketch_size=None``) reproduce the
+      pooled statistic bitwise for scale-free distances (KS) and for
+      unstandardised 1-D EMD; a standardising 1-D EMD divides by the
+      streamed frame scale (ulp-level); setting ``sketch_size`` bounds
+      memory at the sketch's documented rank-error tolerance. NaN handling
+      is per attribute (rows are *not* complete-case filtered; each
+      sketch drops its own column's non-finite values), matching the
+      sketch distances' own pooled ``pairwise`` semantics.
 
     Parameters
     ----------
     n_candidates:
         Number of treated candidates scored against the reference.
     distance:
-        An :class:`~repro.distance.emd.EarthMoverDistance` (its binner
-        supplies ``n_bins`` and must use uniform binning — the default).
+        Any streaming-capable :class:`~repro.distance.base.Distance` —
+        one whose :meth:`~repro.distance.base.Distance.stream_mode` is not
+        ``None``: the paper's EMD (default), uniform-binning
+        :class:`~repro.distance.kl.KLDivergence` /
+        :class:`~repro.distance.kl.JensenShannonDistance`, or
+        :class:`~repro.distance.ks.KolmogorovSmirnovDistance`.
     transform:
         Optional analysis-scale transform applied slab-wise (elementwise, so
         slab application matches whole-population application exactly).
+    sketch_size:
+        ECDF-mode memory bound: ``None`` (default) keeps exact sketches —
+        O(distinct values) per attribute; an integer compacts each sketch
+        to that many weighted order statistics.
     """
 
     def __init__(
         self,
         n_candidates: int,
-        distance: Optional[EarthMoverDistance] = None,
+        distance: Optional[Distance] = None,
         transform: Optional[ScaleTransform] = None,
+        sketch_size: Optional[int] = None,
     ):
         if n_candidates < 1:
             raise DistanceError("need at least one candidate")
         self.distance = distance or EarthMoverDistance()
         binner = getattr(self.distance, "binner", None)
-        if binner is None or binner.binning != "uniform":
+        sketch_capable = callable(getattr(self.distance, "sketch_distances", None))
+        histogram_capable = binner is not None and callable(
+            getattr(self.distance, "between_histograms_batch", None)
+        )
+        if binner is not None and binner.binning != "uniform":
             raise DistanceError(
                 "StreamingDistortion needs a histogram-based distance with "
-                "uniform binning"
+                "uniform binning (quantile edges need the pooled sample)"
+            )
+        if not histogram_capable and not sketch_capable:
+            raise DistanceError(
+                f"{type(self.distance).__name__} is not streaming-capable: "
+                "it exposes neither a histogram path (binner + "
+                "between_histograms_batch) nor an ECDF sketch path "
+                "(see Distance.stream_mode)"
             )
         self.transform = transform
         self.n_candidates = n_candidates
+        self.sketch_size = sketch_size
+        self._mode: Optional[str] = None
         self._dim: Optional[int] = None
         self._count = 0
         self._sum: Optional[np.ndarray] = None
         self._sumsq: Optional[np.ndarray] = None
         self._mins: Optional[np.ndarray] = None
         self._maxs: Optional[np.ndarray] = None
+        self._shift: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
         self._grid = None
         self._accumulators = None
+        self._ref_sketches: "Optional[list[EcdfSketch]]" = None
+        self._cand_sketches: "Optional[list[list[EcdfSketch]]]" = None
 
     # -- pass 1: the reference sketch ------------------------------------------
 
-    def _rows(self, sample) -> np.ndarray:
+    def _rows(self, sample, keep_partial: bool = False) -> np.ndarray:
+        # ``keep_partial`` preserves NaN-bearing rows for ECDF mode: sketch
+        # folding drops non-finite values per attribute, which replays the
+        # sketch distances' own pooled per-column NaN semantics (a blanked
+        # column must not erase the other attributes' marginals).
         if isinstance(sample, np.ndarray):
             # Raw pooled rows: apply the transform columnwise only if the
             # caller didn't — arrays are taken as already analysis-scale.
             rows = np.asarray(sample, dtype=float)
             if rows.ndim != 2:
                 raise DistanceError(f"slab rows must be (N, d), got {rows.shape}")
+            if keep_partial:
+                return rows
             return rows[~np.isnan(rows).any(axis=1)]
-        return _pooled_analysis(sample, self.transform)
+        return _pooled_analysis(sample, self.transform, keep_partial=keep_partial)
 
     def observe_reference(self, sample: Sample) -> None:
         """Fold one reference slab into the frame/support sketch."""
-        if self._grid is not None:
+        if self._mode is not None:
             raise DistanceError("grid already frozen; no more reference slabs")
         rows = self._rows(sample)
         if rows.shape[0] == 0:
@@ -223,76 +331,136 @@ class StreamingDistortion:
         self._maxs = np.maximum(self._maxs, rows.max(axis=0))
 
     def freeze_grid(self, support_margin: float = 0.0) -> None:
-        """Fix the shared grid from the accumulated reference sketch.
+        """Fix the accumulation mode from the reference sketch.
 
-        ``support_margin`` widens the standardised support symmetrically by
-        the given fraction of its width — headroom for candidates whose mass
-        moves outside the reference range (out-of-range rows otherwise clip
-        into the boundary bins, the usual sketch trade).
+        Histogram mode freezes the shared grid; ``support_margin`` widens
+        the standardised support symmetrically by the given fraction of its
+        width — headroom for candidates whose mass moves outside the
+        reference range (out-of-range rows otherwise clip into the boundary
+        bins, the usual sketch trade). ECDF mode needs no grid; a pure-ECDF
+        distance (no binner, e.g. KS) may even skip the reference pre-pass
+        entirely, and ``support_margin`` is irrelevant to it.
         """
-        if self._grid is not None:
+        if self._mode is not None:
             return
+        binner = getattr(self.distance, "binner", None)
         if self._count == 0:
+            if binner is None:
+                # Scale-free ECDF distance: no frame/support sketch needed;
+                # the dimension is discovered on the first observed slab.
+                self._mode = "ecdf"
+                return
             raise DistanceError("no reference rows observed")
-        binner = self.distance.binner
-        if binner.standardize:
+        if binner is None or not binner.standardize:
+            shift = np.zeros(self._dim)
+            scale = np.ones(self._dim)
+        else:
             mean = self._sum / self._count
             var = self._sumsq / self._count - mean * mean
             scale = np.sqrt(np.maximum(var, 0.0))
             scale = np.where(scale > 0, scale, 1.0)
             shift = mean
-        else:
-            shift = np.zeros(self._dim)
-            scale = np.ones(self._dim)
-        mins = (self._mins - shift) / scale
-        maxs = (self._maxs - shift) / scale
-        if support_margin:
-            widths = maxs - mins
-            mins = mins - support_margin * widths
-            maxs = maxs + support_margin * widths
-        self._grid = binner.grid_from_stats(shift, scale, mins, maxs)
-        self._accumulators = [
-            self._grid.accumulator() for _ in range(self.n_candidates + 1)
+        self._shift, self._scale = shift, scale
+        mode = self.distance.stream_mode(self._dim)
+        if mode == "histogram":
+            mins = (self._mins - shift) / scale
+            maxs = (self._maxs - shift) / scale
+            if support_margin:
+                widths = maxs - mins
+                mins = mins - support_margin * widths
+                maxs = maxs + support_margin * widths
+            self._grid = binner.grid_from_stats(shift, scale, mins, maxs)
+            self._accumulators = [
+                self._grid.accumulator() for _ in range(self.n_candidates + 1)
+            ]
+        elif mode == "ecdf":
+            self._init_sketches(self._dim)
+        else:  # pragma: no cover - constructor already screens for this
+            raise DistanceError(
+                f"{type(self.distance).__name__} is not streaming-capable"
+            )
+        self._mode = mode
+
+    def _init_sketches(self, dim: int) -> None:
+        self._dim = dim
+        self._ref_sketches = [EcdfSketch(self.sketch_size) for _ in range(dim)]
+        self._cand_sketches = [
+            [EcdfSketch(self.sketch_size) for _ in range(dim)]
+            for _ in range(self.n_candidates)
         ]
 
     @property
     def grid(self):
-        """The frozen shared grid (``None`` before :meth:`freeze_grid`)."""
+        """The frozen shared grid (``None`` before :meth:`freeze_grid`,
+        and always ``None`` in ECDF mode)."""
         return self._grid
 
     # -- pass 2: the one pass over candidate slabs ------------------------------
 
     def observe(self, reference_slab: Sample, candidate_slabs: Sequence[Sample]) -> None:
         """Fold one aligned slab of the reference and every candidate."""
-        if self._grid is None:
+        if self._mode is None:
             self.freeze_grid()
         if len(candidate_slabs) != self.n_candidates:
             raise DistanceError(
                 f"expected {self.n_candidates} candidate slabs, "
                 f"got {len(candidate_slabs)}"
             )
-        self._accumulators[0].add(self._rows(reference_slab))
-        for acc, slab in zip(self._accumulators[1:], candidate_slabs):
-            acc.add(self._rows(slab))
+        if self._mode == "histogram":
+            self._accumulators[0].add(self._rows(reference_slab))
+            for acc, slab in zip(self._accumulators[1:], candidate_slabs):
+                acc.add(self._rows(slab))
+            return
+        rows = self._rows(reference_slab, keep_partial=True)
+        if self._ref_sketches is None:
+            self._init_sketches(rows.shape[1])
+        self._fold_sketch_rows(self._ref_sketches, rows)
+        for panel, slab in zip(self._cand_sketches, candidate_slabs):
+            self._fold_sketch_rows(panel, self._rows(slab, keep_partial=True))
+
+    def _fold_sketch_rows(self, panel: "list[EcdfSketch]", rows: np.ndarray) -> None:
+        if rows.shape[1] != self._dim:
+            raise DistanceError(
+                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
+            )
+        for j, sketch in enumerate(panel):
+            sketch.add(rows[:, j])
 
     def finalize(self) -> list[float]:
-        """Panel distortions: residual-transport EMD solved once at the end."""
-        if self._grid is None or self._accumulators[0].total == 0:
-            raise DistanceError("no slabs observed")
-        hp = self._accumulators[0].finalize()
-        hqs = [acc.finalize() for acc in self._accumulators[1:]]
-        return emd_between_histograms_batch(
-            hp, hqs, backend=self.distance.backend
-        )
+        """Panel distortions from the accumulated summaries.
+
+        Histogram mode hands the frozen-grid histograms to the distance in
+        one batched call (for EMD: the residual transport problem solved
+        once across the panel); ECDF mode hands the per-attribute sketch
+        panels over, with the streamed frame scale for distances that
+        standardise.
+        """
+        if self._mode == "histogram":
+            if self._accumulators[0].total == 0:
+                raise DistanceError("no slabs observed")
+            hp = self._accumulators[0].finalize()
+            hqs = [acc.finalize() for acc in self._accumulators[1:]]
+            return [
+                float(v) for v in self.distance.between_histograms_batch(hp, hqs)
+            ]
+        if self._mode == "ecdf" and self._ref_sketches is not None:
+            return [
+                float(v)
+                for v in self.distance.sketch_distances(
+                    self._ref_sketches, self._cand_sketches, scale=self._scale
+                )
+            ]
+        raise DistanceError("no slabs observed")
 
 
 def statistical_distortion_stream(
     reference_slabs: Iterable[Sample],
     paired_slabs: Iterable[tuple[Sample, Sequence[Sample]]],
     n_candidates: int,
-    distance: Optional[EarthMoverDistance] = None,
+    distance: Optional[Distance] = None,
     transform: Optional[ScaleTransform] = None,
     support_margin: float = 0.0,
+    sketch_size: Optional[int] = None,
 ) -> list[float]:
     """Distortion of ``n_candidates`` treated streams against a reference
     stream, without pooling either side.
@@ -300,13 +468,17 @@ def statistical_distortion_stream(
     ``reference_slabs`` drives the cheap frame/support sketch pre-pass;
     ``paired_slabs`` yields ``(reference_slab, [candidate_slab, ...])``
     tuples and is consumed exactly once — the single pass over the treated
-    data. ``support_margin`` is forwarded to
+    data. *distance* is any streaming-capable distance — EMD (default),
+    uniform-binning KL/JS, or KS. ``support_margin`` is forwarded to
     :meth:`StreamingDistortion.freeze_grid` — headroom for candidate mass
-    outside the reference support. See :class:`StreamingDistortion` for the
-    accumulation contract.
+    outside the reference support in histogram mode; ``sketch_size`` bounds
+    ECDF-mode sketch memory. See :class:`StreamingDistortion` for the
+    accumulation contract and the per-mode tolerance against the pooled
+    path.
     """
     stream = StreamingDistortion(
-        n_candidates, distance=distance, transform=transform
+        n_candidates, distance=distance, transform=transform,
+        sketch_size=sketch_size,
     )
     for slab in reference_slabs:
         stream.observe_reference(slab)

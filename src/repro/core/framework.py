@@ -80,6 +80,15 @@ class ExperimentConfig:
     environment variable and falls back to the in-memory path. Like the
     backend, streaming is a pure execution choice — the streamed experiment
     is bitwise-identical to the materialised one.
+
+    ``distance`` names the distortion distance by its registered identifier
+    (``"emd"``/``"kl"``/``"js"``/``"ks"``/...; see
+    :data:`repro.distance.DISTANCES`); ``None`` keeps the paper's EMD. An
+    explicit :class:`~repro.distance.base.Distance` *instance* passed to a
+    runner or evaluator always wins over the config name. Both engines
+    honour the selector, so a block run and a streamed run of the same
+    config score with the same distance — and stay bitwise-identical to
+    each other.
     """
 
     n_replications: int = 50
@@ -90,6 +99,7 @@ class ExperimentConfig:
     backend: Optional[str] = None
     n_workers: Optional[int] = None
     streaming: Optional[bool] = None
+    distance: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.n_replications, "n_replications")
@@ -104,11 +114,29 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"streaming must be None or a bool, got {self.streaming!r}"
             )
+        if self.distance is not None:
+            from repro.distance import parse_distance_spec
+
+            parse_distance_spec(self.distance)
 
     @property
     def transform(self) -> Optional[ScaleTransform]:
         """The analysis-scale transform implied by ``log_transform``."""
         return ScaleTransform.log_attr1() if self.log_transform else None
+
+    def make_distance(self) -> Distance:
+        """The configured distortion distance, freshly instantiated.
+
+        The paper's :class:`~repro.distance.emd.EarthMoverDistance` when
+        ``distance`` is ``None``, otherwise the registered class named by
+        the selector with its default parameters (construct an instance and
+        pass it explicitly for non-default parameters).
+        """
+        if self.distance is None:
+            return EarthMoverDistance()
+        from repro.distance import distance_by_name
+
+        return distance_by_name(self.distance)
 
     def variant(self, **changes) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
@@ -169,7 +197,7 @@ def evaluate_pair_outcomes(
     identical outcomes, a fraction of the wall clock. ``REPRO_BLOCK=0``
     forces the per-series reference path.
     """
-    distance = distance or EarthMoverDistance()
+    distance = distance or config.make_distance()
     weights = weights or GlitchWeights()
     constraints = constraints if constraints is not None else paper_constraints()
     context = CleaningContext(
@@ -344,7 +372,7 @@ def run_pair_stream(
     spec = _RunSpec(
         config=config,
         strategies=tuple(strategies),
-        distance=distance or EarthMoverDistance(),
+        distance=distance or config.make_distance(),
         weights=weights or GlitchWeights(),
         constraints=constraints if constraints is not None else paper_constraints(),
     )
@@ -373,7 +401,8 @@ class ExperimentRunner:
     config:
         Experiment parameters.
     distance:
-        Distortion distance; defaults to the paper's EMD.
+        Distortion distance instance; defaults to the config's ``distance``
+        selector (the paper's EMD when that is unset too).
     weights:
         Glitch-index weights; defaults to the paper's (0.25/0.25/0.5).
     constraints:
@@ -399,7 +428,9 @@ class ExperimentRunner:
         self.dirty = dirty
         self.ideal = ideal
         self.config = config or ExperimentConfig()
-        self.distance = distance or EarthMoverDistance()
+        # An explicit instance wins; otherwise the config's named selector
+        # (falling back to the paper's EMD) — one resolution for every run.
+        self.distance = distance or self.config.make_distance()
         self.weights = weights or GlitchWeights()
         self.constraints = constraints if constraints is not None else paper_constraints()
         self.backend = backend

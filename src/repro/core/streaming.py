@@ -485,6 +485,11 @@ class StreamingExperiment:
         *constraints* here are the evaluation-time rules (defaulting to the
         paper's, like :class:`~repro.core.framework.ExperimentRunner`);
         the identification-time rules were fixed at construction.
+        *distance* is any :class:`~repro.distance.base.Distance` instance;
+        ``None`` defers to the config's ``distance`` selector and then the
+        paper's EMD — the same resolution the in-memory runner applies, so
+        KL/JS/KS-scored streaming runs stay bitwise-identical to their
+        block-path counterparts.
         """
         cfg = self.config
         try:
@@ -626,12 +631,20 @@ def run_streaming_experiment(
     seed: Seed = 0,
     config: Optional[ExperimentConfig] = None,
     strategies: Optional[Sequence[CleaningStrategy]] = None,
+    distance: Optional[Distance] = None,
     **kwargs,
 ) -> StreamingResult:
-    """One-call streaming run of the Figure-6 experiment at a named scale."""
+    """One-call streaming run of the Figure-6 experiment at a named scale.
+
+    *distance* overrides the config's ``distance`` selector with an explicit
+    instance, exactly like the in-memory :class:`ExperimentRunner`.
+    """
     from repro.cleaning.registry import paper_strategies
 
     engine = StreamingExperiment.from_scale(
         scale, seed=seed, **({"config": config} if config else {}), **kwargs
     )
-    return engine.run(list(strategies) if strategies else paper_strategies())
+    return engine.run(
+        list(strategies) if strategies else paper_strategies(),
+        distance=distance,
+    )

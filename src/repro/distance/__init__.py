@@ -25,9 +25,55 @@ from repro.distance.transport import (
     solve_transport_batch,
     transport_cost_1d,
 )
+from repro.errors import DistanceError
+
+#: Registered distances by their short ``name`` identifier — the vocabulary
+#: of every ``distance=`` selector string (``ExperimentConfig(distance=...)``,
+#: the benches' ablation cells).
+DISTANCES: dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        EarthMoverDistance,
+        KLDivergence,
+        JensenShannonDistance,
+        KolmogorovSmirnovDistance,
+        MahalanobisDistance,
+        SlicedEmd,
+        MarginalEmd,
+    )
+}
+
+
+def parse_distance_spec(spec: str) -> str:
+    """Validate and normalise a distance-selector name.
+
+    Returns the lowercased, stripped name; raises
+    :class:`~repro.errors.DistanceError` for unknown names so a typo in an
+    :class:`~repro.core.framework.ExperimentConfig` fails at construction,
+    not deep inside a run.
+    """
+    name = str(spec).strip().lower()
+    if name not in DISTANCES:
+        raise DistanceError(
+            f"unknown distance {spec!r}; registered: {sorted(DISTANCES)}"
+        )
+    return name
+
+
+def distance_by_name(spec: str, **kwargs) -> Distance:
+    """Instantiate a registered distance from its ``name`` identifier.
+
+    Keyword arguments are forwarded to the distance constructor
+    (``distance_by_name("kl", binning="uniform")``).
+    """
+    return DISTANCES[parse_distance_spec(spec)](**kwargs)
+
 
 __all__ = [
     "Distance",
+    "DISTANCES",
+    "distance_by_name",
+    "parse_distance_spec",
     "EarthMoverDistance",
     "emd_1d",
     "pairwise_emd",

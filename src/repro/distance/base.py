@@ -8,13 +8,13 @@ Rows containing NaN are dropped — missing cells carry no distributional mass.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import DistanceError
 
-__all__ = ["Distance", "clean_sample"]
+__all__ = ["Distance", "clean_sample", "clean_panel"]
 
 
 def clean_sample(values: np.ndarray, name: str) -> np.ndarray:
@@ -30,6 +30,28 @@ def clean_sample(values: np.ndarray, name: str) -> np.ndarray:
     return arr
 
 
+def clean_panel(
+    p: np.ndarray, qs: "Sequence[np.ndarray]"
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Clean a reference and its candidate panel, enforcing one dimension.
+
+    The shared validation front of every batched ``pairwise`` fast path
+    (EMD, KL, JS): complete-case coercion per sample plus the reference-vs-
+    candidate dimension check, with stable error wording.
+    """
+    p = clean_sample(p, "p")
+    cleaned = []
+    for i, q in enumerate(qs):
+        q = clean_sample(q, f"q[{i}]")
+        if q.shape[1] != p.shape[1]:
+            raise DistanceError(
+                f"dimension mismatch: p has d={p.shape[1]}, "
+                f"q[{i}] has d={q.shape[1]}"
+            )
+        cleaned.append(q)
+    return p, cleaned
+
+
 class Distance(ABC):
     """A distance between two empirical distributions.
 
@@ -39,6 +61,14 @@ class Distance(ABC):
 
     #: Short identifier used in reports ("emd", "kl", ...).
     name: str = "distance"
+
+    #: Whether the distance needs complete-case rows. The pooling layer
+    #: (``statistical_distortion_batch``) drops NaN-bearing rows for
+    #: complete-case distances (multivariate binning needs whole rows) and
+    #: keeps them for distances with their own per-attribute NaN handling
+    #: (KS), so the framework reproduces each distance's documented
+    #: semantics instead of silently discarding marginal mass.
+    complete_case: bool = True
 
     def __call__(self, p: np.ndarray, q: np.ndarray) -> float:
         """Distance between samples *p* and *q* (complete rows only)."""
@@ -62,6 +92,32 @@ class Distance(ABC):
         override this with a batched fast path.
         """
         return [self(p, q) for q in qs]
+
+    def stream_mode(self, dim: int) -> Optional[str]:
+        """How (if at all) this distance evaluates over a one-pass stream.
+
+        ``"histogram"`` — the distance is a function of mergeable bin masses
+        on a frozen shared grid: the instance exposes a ``binner`` and a
+        ``between_histograms_batch(hp, hqs)`` method, and
+        :class:`~repro.core.distortion.StreamingDistortion` folds slab
+        counts into grid accumulators (exact integer folding).
+
+        ``"ecdf"`` — the distance is a function of per-attribute empirical
+        CDFs: the instance exposes ``sketch_distances(reference,
+        candidates, scale=...)`` over :class:`~repro.stats.ecdf.EcdfSketch`
+        panels, and the streaming layer folds per-attribute sketches.
+
+        ``None`` — pooled samples only. Subclasses that can stream in more
+        than one way (EMD: exact CDF path in 1-D, histograms otherwise)
+        override this to pick per *dim*.
+        """
+        if getattr(self, "binner", None) is not None and callable(
+            getattr(self, "between_histograms_batch", None)
+        ):
+            return "histogram"
+        if callable(getattr(self, "sketch_distances", None)):
+            return "ecdf"
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

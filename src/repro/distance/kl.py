@@ -3,35 +3,51 @@
 Definition 1 lists KL as an alternative distortion measure. Empirical KL on
 histograms requires smoothing (a cleaned bin with zero dirty mass would blow
 up the divergence); we use additive (Laplace) smoothing with a configurable
-pseudo-count.
+per-bin pseudo-count.
+
+Both divergences are pure functions of bin masses on a shared grid, which
+makes them **streaming-native**: the frozen-grid count accumulators of
+:mod:`repro.distance.histogram` feed :meth:`between_histograms_batch`
+directly, and :class:`~repro.core.distortion.StreamingDistortion` scores a
+whole candidate panel without pooling a sample array (count folding is
+bitwise-exact, so within-support uniform-binning streams equal the pooled
+path exactly; see the README distance table for the tolerance contract).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.distance.base import Distance
-from repro.distance.histogram import HistogramBinner
+from repro.distance.base import Distance, clean_panel
+from repro.distance.histogram import HistogramBinner, SparseHistogram
 from repro.errors import DistanceError
 
-__all__ = ["KLDivergence", "JensenShannonDistance"]
+__all__ = ["KLDivergence", "JensenShannonDistance", "aligned_probs"]
 
 
-def _aligned_probs(
-    binner: HistogramBinner, p: np.ndarray, q: np.ndarray
+def aligned_probs(
+    hp: SparseHistogram, hq: SparseHistogram
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Histogram both samples and align their bins on a common index."""
-    hp, hq = binner.histogram_pair(p, q)
-    # Bin centres are exact grid coordinates, so byte-level keys align them.
-    keys = {}
-    for c in np.vstack([hp.centers, hq.centers]):
-        keys.setdefault(c.tobytes(), len(keys))
-    ap = np.zeros(len(keys))
-    aq = np.zeros(len(keys))
-    for c, w in zip(hp.centers, hp.probs):
-        ap[keys[c.tobytes()]] = w
-    for c, w in zip(hq.centers, hq.probs):
-        aq[keys[c.tobytes()]] = w
+    """Align two same-grid histograms' masses on their union of occupied bins.
+
+    Alignment is by the histograms' shared-grid ``keys`` (flat bin indices
+    from one binner call), never by bin-centre coordinates: coordinate keys
+    break whenever distinct byte patterns compare equal as floats (``-0.0``
+    vs ``0.0``), silently splitting one bin into two and inflating any
+    divergence computed on the result.
+    """
+    if hp.keys is None or hq.keys is None:
+        raise DistanceError(
+            "aligned_probs needs histograms carrying shared-grid keys "
+            "(produced by the same binner call / HistogramGrid)"
+        )
+    keys = np.union1d(hp.keys, hq.keys)
+    ap = np.zeros(keys.size)
+    aq = np.zeros(keys.size)
+    ap[np.searchsorted(keys, hp.keys)] = hp.probs
+    aq[np.searchsorted(keys, hq.keys)] = hq.probs
     return ap, aq
 
 
@@ -42,8 +58,16 @@ class KLDivergence(Distance):
     ----------
     n_bins, binning, standardize:
         Forwarded to :class:`HistogramBinner` (shared support, like EMD).
+        Uniform binning makes the divergence streaming-capable; quantile
+        edges need the pooled sample by definition.
     pseudo_count:
-        Additive smoothing mass per bin (default 0.5, Jeffreys-style).
+        Additive smoothing mass added to **each** occupied-union bin: with
+        ``k`` bins in the union, a bin mass ``m`` becomes
+        ``(m + pseudo_count) / (1 + k * pseudo_count)``. The default 1e-4
+        is a Jeffreys-style half-count at the framework's typical pooled
+        sample sizes (0.5 / ~5000 rows) — small enough that the smoothing
+        mass stays well below the data mass at any realistic bin count,
+        large enough to keep a zero-mass candidate bin finite.
     symmetrized:
         When True, returns ``(KL(P||Q) + KL(Q||P)) / 2``.
     """
@@ -55,7 +79,7 @@ class KLDivergence(Distance):
         n_bins: int = 8,
         binning: str = "quantile",
         standardize: bool = True,
-        pseudo_count: float = 0.5,
+        pseudo_count: float = 1e-4,
         symmetrized: bool = False,
     ):
         if pseudo_count <= 0:
@@ -65,23 +89,56 @@ class KLDivergence(Distance):
         self.symmetrized = symmetrized
 
     def _kl(self, a: np.ndarray, b: np.ndarray) -> float:
+        # Per-bin additive smoothing: add pseudo_count to every one of the
+        # k union bins, then renormalise by the total added mass.
         k = a.size
-        a = (a * 1.0 + self.pseudo_count / k) / (1.0 + self.pseudo_count)
-        b = (b * 1.0 + self.pseudo_count / k) / (1.0 + self.pseudo_count)
+        norm = 1.0 + k * self.pseudo_count
+        a = (a + self.pseudo_count) / norm
+        b = (b + self.pseudo_count) / norm
         return float(np.sum(a * np.log(a / b)))
 
-    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
-        ap, aq = _aligned_probs(self.binner, p, q)
+    def _from_pair(self, hp: SparseHistogram, hq: SparseHistogram) -> float:
+        ap, aq = aligned_probs(hp, hq)
         if self.symmetrized:
             return 0.5 * (self._kl(ap, aq) + self._kl(aq, ap))
         return self._kl(ap, aq)
+
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        hp, hq = self.binner.histogram_pair(p, q)
+        return self._from_pair(hp, hq)
+
+    def pairwise(self, p: np.ndarray, qs: Sequence[np.ndarray]) -> list[float]:
+        """KL from one reference to each candidate on ONE shared grid.
+
+        Panel semantics match :meth:`EarthMoverDistance.pairwise
+        <repro.distance.emd.EarthMoverDistance.pairwise>`: the grid spans
+        the pooled union support of the whole group and the reference is
+        binned once — with a single candidate this equals :meth:`compute`
+        bit for bit.
+        """
+        if not qs:
+            return []
+        hp, hqs = _panel_histograms(self.binner, p, qs)
+        return self.between_histograms_batch(hp, hqs)
+
+    def between_histograms_batch(
+        self, hp: SparseHistogram, hqs: Sequence[SparseHistogram]
+    ) -> list[float]:
+        """Divergence of each candidate histogram from the reference.
+
+        The streaming entry point: *hp*/*hqs* may come from one binner call
+        or from :class:`~repro.distance.histogram.HistogramAccumulator`
+        folds on a frozen grid — only the accumulated bin masses matter.
+        """
+        return [self._from_pair(hp, hq) for hq in hqs]
 
 
 class JensenShannonDistance(Distance):
     """Jensen-Shannon *distance* (square root of JS divergence, natural log).
 
     Bounded by ``sqrt(log 2)`` and symmetric — a better-behaved cousin of KL
-    for reporting, included as an extension.
+    for reporting, included as an extension. Uniform binning makes it
+    streaming-capable exactly like :class:`KLDivergence`.
     """
 
     name = "js"
@@ -91,8 +148,8 @@ class JensenShannonDistance(Distance):
     ):
         self.binner = HistogramBinner(n_bins=n_bins, binning=binning, standardize=standardize)
 
-    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
-        ap, aq = _aligned_probs(self.binner, p, q)
+    def _from_pair(self, hp: SparseHistogram, hq: SparseHistogram) -> float:
+        ap, aq = aligned_probs(hp, hq)
         mix = 0.5 * (ap + aq)
 
         def kl_to_mix(a: np.ndarray) -> float:
@@ -101,3 +158,28 @@ class JensenShannonDistance(Distance):
 
         js = 0.5 * kl_to_mix(ap) + 0.5 * kl_to_mix(aq)
         return float(np.sqrt(max(js, 0.0)))
+
+    def compute(self, p: np.ndarray, q: np.ndarray) -> float:
+        hp, hq = self.binner.histogram_pair(p, q)
+        return self._from_pair(hp, hq)
+
+    def pairwise(self, p: np.ndarray, qs: Sequence[np.ndarray]) -> list[float]:
+        """Shared-grid panel form; see :meth:`KLDivergence.pairwise`."""
+        if not qs:
+            return []
+        hp, hqs = _panel_histograms(self.binner, p, qs)
+        return self.between_histograms_batch(hp, hqs)
+
+    def between_histograms_batch(
+        self, hp: SparseHistogram, hqs: Sequence[SparseHistogram]
+    ) -> list[float]:
+        """JS distance of each candidate histogram from the reference."""
+        return [self._from_pair(hp, hq) for hq in hqs]
+
+
+def _panel_histograms(
+    binner: HistogramBinner, p: np.ndarray, qs: Sequence[np.ndarray]
+) -> tuple[SparseHistogram, list[SparseHistogram]]:
+    """Validated shared-grid histograms of a reference and its panel."""
+    p, cleaned = clean_panel(p, qs)
+    return binner.histogram_group(p, cleaned)

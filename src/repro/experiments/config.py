@@ -227,13 +227,16 @@ def experiment_config(
     seed: Seed = 0,
     backend: Optional[str] = None,
     n_workers: Optional[int] = None,
+    distance: Optional[str] = None,
 ) -> ExperimentConfig:
     """The :class:`ExperimentConfig` matching a scale preset.
 
     ``sample_size`` overrides the preset (the paper's Figure 6c uses B = 500
     at otherwise-paper scale). ``backend`` names the execution backend; when
     ``None`` the ``REPRO_BACKEND`` environment variable still applies at run
-    time.
+    time. ``distance`` names the distortion distance by registered
+    identifier (``"emd"``/``"kl"``/``"js"``/``"ks"``/...); ``None`` keeps
+    the paper's EMD.
     """
     if scale not in SCALES:
         raise ExperimentError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
@@ -245,4 +248,5 @@ def experiment_config(
         seed=seed,
         backend=backend,
         n_workers=n_workers,
+        distance=distance,
     )

@@ -52,6 +52,7 @@ def run_experiment(
     config: Optional[ExperimentConfig] = None,
     strategies: Optional[Sequence[CleaningStrategy]] = None,
     backend=None,
+    distance=None,
     **streaming_kwargs,
 ) -> ExperimentResult:
     """The Figure-6 experiment at a named scale, through either engine.
@@ -64,7 +65,8 @@ def run_experiment(
     peak memory bounded by the shard size instead of the population. The
     two paths return bitwise-identical outcomes; extra keyword arguments
     (``shard_size=``, ``spill_dir=``, ``sketch_k=``, ...) reach the
-    streaming engine only.
+    streaming engine only. *distance* — an instance, or the config's
+    ``distance`` name selector — is honoured identically by both engines.
     """
     from repro.core.streaming import run_streaming_experiment, streaming_enabled
     from repro.experiments.config import build_population, experiment_config
@@ -76,6 +78,7 @@ def run_experiment(
             seed=seed,
             config=config,
             strategies=strategies,
+            distance=distance,
             backend=backend,
             **streaming_kwargs,
         ).result
@@ -85,7 +88,10 @@ def run_experiment(
             "but the streaming engine is not selected"
         )
     bundle = build_population(scale=scale, seed=seed, backend=backend)
-    return run_figure6(bundle, config=config, strategies=strategies, backend=backend)
+    return run_figure6(
+        bundle, config=config, strategies=strategies, backend=backend,
+        distance=distance,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -282,6 +288,7 @@ def run_figure6(
     config: Optional[ExperimentConfig] = None,
     strategies: Optional[Sequence[CleaningStrategy]] = None,
     backend=None,
+    distance=None,
 ) -> ExperimentResult:
     """Evaluate the five paper strategies on one configuration.
 
@@ -290,10 +297,12 @@ def run_figure6(
     ``config.variant(sample_size=500)`` for panel (c). ``backend`` (a name
     or :class:`~repro.core.executor.ExecutionBackend`) overrides the
     config's execution backend; replications fan out across it with
-    identical results on any choice.
+    identical results on any choice. ``distance`` (an instance) overrides
+    the config's ``distance`` selector, EMD by default.
     """
     runner = ExperimentRunner(
-        bundle.dirty, bundle.ideal, config=config, backend=backend
+        bundle.dirty, bundle.ideal, config=config, backend=backend,
+        distance=distance,
     )
     return runner.run(list(strategies) if strategies else paper_strategies())
 

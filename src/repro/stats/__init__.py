@@ -8,7 +8,7 @@ from repro.stats.descriptive import (
     sigma_limits,
     winsorize_array,
 )
-from repro.stats.ecdf import Ecdf
+from repro.stats.ecdf import Ecdf, EcdfSketch
 
 __all__ = [
     "RunningMoments",
@@ -18,4 +18,5 @@ __all__ = [
     "sigma_limits",
     "winsorize_array",
     "Ecdf",
+    "EcdfSketch",
 ]

@@ -2,10 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.distance import DISTANCES, distance_by_name
 from repro.distance.emd import emd_1d
 from repro.distance.emd_approx import MarginalEmd, SlicedEmd
-from repro.distance.kl import JensenShannonDistance, KLDivergence
+from repro.distance.histogram import SparseHistogram
+from repro.distance.kl import JensenShannonDistance, KLDivergence, aligned_probs
 from repro.distance.ks import KolmogorovSmirnovDistance
 from repro.distance.mahalanobis import MahalanobisDistance
 from repro.errors import DistanceError
@@ -49,6 +53,81 @@ class TestKL:
         near = KLDivergence()(x, x + 0.3)
         far = KLDivergence()(x, x + 3.0)
         assert far > near
+
+    def test_per_bin_smoothing_regression(self):
+        """Pin the documented smoothing semantics: ``pseudo_count`` is added
+        to *each* of the k union bins and the total renormalised by
+        ``1 + k * pseudo_count`` (the docstring long promised per-bin mass;
+        the implementation used to spread ``pseudo_count / k``)."""
+        p = np.array([0.0, 1.0, 2.0, 3.0])[:, None]
+        q = np.array([0.0, 0.0, 0.0, 3.0])[:, None]
+        kl = KLDivergence(
+            n_bins=2, binning="uniform", standardize=False, pseudo_count=0.5
+        )
+        # Edges [0, 1.5, 3]: hp = [1/2, 1/2], hq = [3/4, 1/4]; k = 2 bins.
+        # a = (1/2 + 1/2) / 2 = [1/2, 1/2]; b = [(3/4 + 1/2) / 2, (1/4 + 1/2) / 2]
+        expected = 0.5 * np.log(0.5 / 0.625) + 0.5 * np.log(0.5 / 0.375)
+        assert kl(p, q) == pytest.approx(expected, rel=1e-12)
+        # The old code spread pseudo_count / k and normalised by
+        # 1 + pseudo_count — a different number; the doc semantics won.
+        hp, hq = np.array([0.5, 0.5]), np.array([0.75, 0.25])
+        old = float(np.sum(
+            (hp + 0.25) / 1.5 * np.log((hp + 0.25) / (hq + 0.25))
+        ))
+        assert abs(kl(p, q) - old) > 1e-3
+
+    def test_smoothing_keeps_zero_candidate_bins_finite(self, rng):
+        x = rng.normal(size=(300, 1))
+        y = np.full((300, 1), float(x.mean()))  # all mass in one bin
+        assert np.isfinite(KLDivergence()(x, y))
+
+
+class TestBinAlignment:
+    """Bins align on shared-grid keys, never on centre-coordinate bytes."""
+
+    def test_negative_zero_centers_are_one_bin(self):
+        # Same flat key, byte-distinct but equal centres (-0.0 vs 0.0):
+        # the old tobytes() alignment split this into two bins and
+        # double-counted the mass; key alignment sees one bin.
+        hp = SparseHistogram(
+            centers=np.array([[0.0], [1.0]]),
+            probs=np.array([0.5, 0.5]),
+            keys=np.array([3, 7]),
+        )
+        hq = SparseHistogram(
+            centers=np.array([[-0.0], [1.0]]),
+            probs=np.array([0.5, 0.5]),
+            keys=np.array([3, 7]),
+        )
+        ap, aq = aligned_probs(hp, hq)
+        assert ap.size == 2 and aq.size == 2
+        assert np.array_equal(ap, aq)
+        kl = KLDivergence(pseudo_count=0.5)
+        assert kl.between_histograms_batch(hp, [hq])[0] == pytest.approx(0.0, abs=1e-15)
+        js = JensenShannonDistance()
+        assert js.between_histograms_batch(hp, [hq])[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_alignment_scatters_disjoint_bins(self):
+        hp = SparseHistogram(
+            centers=np.array([[0.0], [1.0]]),
+            probs=np.array([0.25, 0.75]),
+            keys=np.array([1, 4]),
+        )
+        hq = SparseHistogram(
+            centers=np.array([[2.0]]),
+            probs=np.array([1.0]),
+            keys=np.array([9]),
+        )
+        ap, aq = aligned_probs(hp, hq)
+        assert np.array_equal(ap, [0.25, 0.75, 0.0])
+        assert np.array_equal(aq, [0.0, 0.0, 1.0])
+
+    def test_keyless_histograms_are_rejected(self):
+        h = SparseHistogram(
+            centers=np.array([[0.0]]), probs=np.array([1.0])
+        )
+        with pytest.raises(DistanceError):
+            aligned_probs(h, h)
 
 
 class TestJensenShannon:
@@ -122,6 +201,80 @@ class TestKS:
         far = np.where(x > 2.0, 50.0, x)
         ks = KolmogorovSmirnovDistance()
         assert ks(x, near) == pytest.approx(ks(x, far), abs=0.02)
+
+    def test_blanked_column_is_skipped(self, rng):
+        """Regression: a cleaner that blanks one column used to blow up in
+        Ecdf (ValidationError on an all-NaN sample); the unpopulated
+        attribute is now skipped and the rest still scored."""
+        x = rng.normal(size=(200, 2))
+        y = x.copy()
+        y[:, 1] = np.nan
+        ks = KolmogorovSmirnovDistance()
+        assert ks(x, y) == pytest.approx(ks(x[:, :1], y[:, :1]))
+        # Fully unpopulated on both sides -> nothing to compare.
+        all_nan = np.full((50, 1), np.nan)
+        with pytest.raises(DistanceError):
+            ks(all_nan, all_nan)
+
+    def test_nans_stay_out_of_evaluation_grid(self, rng):
+        """Scattered NaNs: each attribute keeps its own finite values (the
+        per-column pooling semantics) and no NaN reaches union1d — the
+        statistic stays finite and matches the hand-filtered value."""
+        x = rng.normal(size=(300, 2))
+        y = rng.normal(0.5, 1.0, size=(300, 2))
+        xm, ym = x.copy(), y.copy()
+        xm[::7, 0] = np.nan
+        ym[::5, 1] = np.nan
+        got = KolmogorovSmirnovDistance()(xm, ym)
+        assert np.isfinite(got)
+        per_attr = []
+        for j in range(2):
+            a = xm[:, j][np.isfinite(xm[:, j])]
+            b = ym[:, j][np.isfinite(ym[:, j])]
+            grid = np.union1d(a, b)
+            fa = np.searchsorted(np.sort(a), grid, side="right") / a.size
+            fb = np.searchsorted(np.sort(b), grid, side="right") / b.size
+            per_attr.append(float(np.max(np.abs(fa - fb))))
+        assert got == max(per_attr)
+
+
+class TestDivergenceProperties:
+    """Property tests over random sample pairs (satellite of the streaming
+    distances PR): JS stays within its analytic bound, symmetrized KL is
+    symmetric, under any draw."""
+
+    @given(st.integers(0, 10_000), st.floats(-3, 3), st.floats(0.1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_js_bounded_by_sqrt_log2(self, seed, shift, spread):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(200, 2))
+        y = rng.normal(shift, spread, size=(150, 2))
+        assert 0.0 <= JensenShannonDistance()(x, y) <= np.sqrt(np.log(2)) + 1e-12
+
+    @given(st.integers(0, 10_000), st.floats(-2, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetrized_kl_is_symmetric(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(150, 2))
+        y = rng.normal(shift, 1.4, size=(150, 2))
+        kl = KLDivergence(symmetrized=True, standardize=False)
+        assert kl(x, y) == pytest.approx(kl(y, x), rel=1e-9, abs=1e-12)
+
+
+class TestDistanceRegistry:
+    def test_names_round_trip(self):
+        for name, cls in DISTANCES.items():
+            assert isinstance(distance_by_name(name), cls)
+            assert cls.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DistanceError):
+            distance_by_name("wasserstein-3000")
+
+    def test_kwargs_forwarded(self):
+        kl = distance_by_name("kl", binning="uniform", pseudo_count=0.25)
+        assert kl.binner.binning == "uniform"
+        assert kl.pseudo_count == 0.25
 
 
 class TestSlicedEmd:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.distortion import (
     StreamingDistortion,
+    slab_streams,
     statistical_distortion_batch,
     statistical_distortion_stream,
 )
@@ -21,6 +22,9 @@ from repro.distance.histogram import (
     HistogramBinner,
     clear_frame_cache,
 )
+from repro.distance.kl import JensenShannonDistance, KLDivergence
+from repro.distance.ks import KolmogorovSmirnovDistance
+from repro.distance.mahalanobis import MahalanobisDistance
 from repro.errors import DistanceError
 
 
@@ -179,6 +183,217 @@ class TestStreamingDistortion:
             StreamingDistortion(
                 1, distance=EarthMoverDistance(binning="quantile")
             )
+
+
+def _slab(rows, width):
+    return [rows[a : a + width] for a in range(0, len(rows), width)]
+
+
+#: Streaming-capable distances under their exact-agreement configuration
+#: (identity frame; candidates drawn inside the reference support).
+EXACT_DISTANCES = {
+    "emd": lambda: EarthMoverDistance(n_bins=8, standardize=False, exact_1d=False),
+    "kl": lambda: KLDivergence(n_bins=8, binning="uniform", standardize=False),
+    "kl-sym": lambda: KLDivergence(
+        n_bins=8, binning="uniform", standardize=False, symmetrized=True
+    ),
+    "js": lambda: JensenShannonDistance(
+        n_bins=8, binning="uniform", standardize=False
+    ),
+    "ks": lambda: KolmogorovSmirnovDistance(),
+}
+
+
+class TestStreamingDistanceParity:
+    """The tentpole contract: every registered streaming-capable distance
+    scores a slab stream identically (bitwise, in the exact regime) to the
+    pooled path, for any slab slicing and panel size."""
+
+    @pytest.mark.parametrize("name", sorted(EXACT_DISTANCES))
+    @pytest.mark.parametrize("widths", [(63, 50), (500, 400), (17, 11)])
+    def test_streamed_equals_pooled_bitwise(self, name, widths):
+        p = _sample(500, 2, seed=20)
+        perm = np.random.default_rng(1).permutation(len(p))
+        qs = [p[perm][:400], p[perm[::-1]][:400]]
+        distance = EXACT_DISTANCES[name]()
+        pooled = distance.pairwise(p, qs)
+        ref_slabs, paired = slab_streams(p, qs, widths[0], widths[1])
+        streamed = statistical_distortion_stream(
+            ref_slabs, paired, n_candidates=2, distance=distance
+        )
+        assert streamed == pooled
+
+    @pytest.mark.parametrize("name", ["kl", "js"])
+    def test_standardised_within_support_matches_to_ulp(self, name):
+        # With standardisation the only streamed/pooled difference is the
+        # moment-sketch frame (ulp-level edge shifts); candidates inside
+        # the reference support leave the grids equal bin for bin.
+        p = _sample(600, 3, seed=21)
+        perm = np.random.default_rng(5).permutation(len(p))
+        qs = [p[perm][:450], p[perm[::-1]][:420]]
+        distance = (
+            KLDivergence(n_bins=8, binning="uniform")
+            if name == "kl"
+            else JensenShannonDistance(n_bins=8, binning="uniform")
+        )
+        pooled = distance.pairwise(p, qs)
+        ref_slabs, paired = slab_streams(p, qs, 100, 90)
+        streamed = statistical_distortion_stream(
+            ref_slabs, paired, 2, distance=distance
+        )
+        for s, r in zip(streamed, pooled):
+            assert s == pytest.approx(r, rel=1e-9)
+
+    @pytest.mark.parametrize("name", ["kl", "js"])
+    def test_out_of_support_mass_keeps_panel_ordering(self, name):
+        # Unlike EMD (binning-insensitive by the paper's argument), KL/JS
+        # respond to how out-of-reference-support candidate mass is binned:
+        # the streamed grid clips it into margin/edge bins while the pooled
+        # grid stretches over the union support, so the *values* drift.
+        # The panel ordering — what the ablation reads — must survive.
+        p = _sample(600, 3, seed=21)
+        qs = [_sample(600, 3, seed=22), p + 0.01]
+        distance = (
+            KLDivergence(n_bins=8, binning="uniform")
+            if name == "kl"
+            else JensenShannonDistance(n_bins=8, binning="uniform")
+        )
+        stream = StreamingDistortion(2, distance=distance)
+        for slab in _slab(p, 100):
+            stream.observe_reference(slab)
+        stream.freeze_grid(support_margin=0.25)
+        for pr, cands in slab_streams(p, qs, 100)[1]:
+            stream.observe(pr, cands)
+        streamed = stream.finalize()
+        pooled = distance.pairwise(p, qs)
+        assert all(np.isfinite(v) and v >= 0 for v in streamed)
+        assert streamed[1] < streamed[0]
+        assert pooled[1] < pooled[0]
+
+    def test_exact_1d_emd_streams_through_sketches(self):
+        p = _sample(400, 1, seed=23)
+        q = p[np.random.default_rng(3).permutation(len(p))][:300]
+        raw = EarthMoverDistance(standardize=False)
+        pooled = raw.pairwise(p, [q])
+        stream = StreamingDistortion(1, distance=raw)
+        for slab in _slab(p, 70):
+            stream.observe_reference(slab)
+        stream.freeze_grid()
+        assert stream.grid is None  # ecdf mode: no histogram grid at all
+        for pr, qc in zip(_slab(p, 70), _slab(q, 53)):
+            stream.observe(pr, [qc])
+        assert stream.finalize() == pooled
+
+    def test_exact_1d_emd_standardized_matches_to_ulp(self):
+        p = _sample(500, 1, seed=24)
+        q = _sample(450, 1, seed=25)
+        distance = EarthMoverDistance()  # standardize=True, exact_1d=True
+        pooled = distance.pairwise(p, [q])
+        streamed = statistical_distortion_stream(
+            _slab(p, 90),
+            zip(_slab(p, 90), [[s] for s in _slab(q, 75)]),
+            n_candidates=1,
+            distance=distance,
+        )
+        # Identical sketches; the only difference is dividing the raw
+        # distance by the streamed scale vs standardising per element.
+        assert streamed[0] == pytest.approx(pooled[0], rel=1e-9)
+
+    def test_ks_needs_no_reference_prepass(self):
+        p = _sample(300, 2, seed=26)
+        q = _sample(280, 2, seed=27)
+        distance = KolmogorovSmirnovDistance()
+        stream = StreamingDistortion(1, distance=distance)
+        # No observe_reference, no freeze_grid: straight to the one pass.
+        for pr, qc in zip(_slab(p, 60), _slab(q, 56)):
+            stream.observe(pr, [qc])
+        assert stream.finalize() == distance.pairwise(p, [q])
+
+    def test_ks_nan_semantics_match_pooled_per_column(self):
+        # Regression (review finding): ecdf mode must keep NaN-bearing rows
+        # so each attribute's marginal matches the distance's own pooled
+        # per-column semantics — complete-case filtering here both shifted
+        # the statistic and made a blanked column erase every attribute.
+        rng = np.random.default_rng(31)
+        p = rng.normal(size=(300, 2))
+        q = p + np.array([2.0, 0.0])
+        q[q[:, 0] > 2.0, 1] = np.nan
+        distance = KolmogorovSmirnovDistance()
+        streamed = statistical_distortion_stream(
+            [], zip(_slab(p, 64), [[s] for s in _slab(q, 64)]), 1,
+            distance=distance,
+        )
+        assert streamed == distance.pairwise(p, [q])
+        # A fully blanked column is skipped, not fatal, exactly as pooled.
+        q2 = p.copy()
+        q2[:, 1] = np.nan
+        streamed = statistical_distortion_stream(
+            [], zip(_slab(p, 64), [[s] for s in _slab(q2, 64)]), 1,
+            distance=distance,
+        )
+        assert streamed == distance.pairwise(p, [q2])
+
+    def test_ks_compressed_sketches_stay_close(self):
+        p = _sample(4000, 2, seed=28)
+        q = _sample(4000, 2, seed=29, scale=1.2)
+        distance = KolmogorovSmirnovDistance()
+        pooled = distance.pairwise(p, [q])
+        streamed = statistical_distortion_stream(
+            _slab(p, 500),
+            zip(_slab(p, 500), [[s] for s in _slab(q, 500)]),
+            n_candidates=1,
+            distance=distance,
+            sketch_size=256,
+        )
+        assert streamed[0] == pytest.approx(pooled[0], abs=4.0 / 256)
+
+    def test_ragged_slab_lengths_never_matter(self):
+        p = _sample(400, 2, seed=30)
+        q = p[::-1][:399]
+        distance = KolmogorovSmirnovDistance()
+        ragged_p = [p[:1], p[1:7], p[7:300], p[300:]]
+        ragged_q = [q[:250], q[250:251], q[251:], q[:0]]
+        streamed = statistical_distortion_stream(
+            [], zip(ragged_p, [[s] for s in ragged_q]), 1, distance=distance
+        )
+        assert streamed == distance.pairwise(p, [q])
+
+    def test_non_streaming_distance_rejected(self):
+        with pytest.raises(DistanceError):
+            StreamingDistortion(1, distance=MahalanobisDistance())
+
+    def test_histogram_capability_needs_batch_hook(self):
+        # A uniform binner alone is not enough: without the
+        # between_histograms_batch hook (or a sketch path) the failure
+        # must fire at construction, not after the reference pre-pass.
+        class BinnerOnly(EarthMoverDistance):
+            between_histograms_batch = None
+            sketch_distances = None
+
+        with pytest.raises(DistanceError):
+            StreamingDistortion(1, distance=BinnerOnly(exact_1d=False))
+
+    def test_batch_pooling_honours_per_column_distances(self):
+        # Regression (review finding): the framework pooling layer used to
+        # complete-case filter for every distance, so a blanked column
+        # erased the whole sample before KS could apply its documented
+        # per-attribute semantics.
+        p = _sample(200, 2, seed=40)
+        q = p.copy()
+        q[:, 1] = np.nan
+        ks = KolmogorovSmirnovDistance()
+        got = statistical_distortion_batch(_as_dataset(p), [_as_dataset(q)], distance=ks)
+        assert got == ks.pairwise(p, [q])
+        # Complete-case distances keep the old contract: nothing to bin.
+        with pytest.raises(DistanceError):
+            statistical_distortion_batch(
+                _as_dataset(p), [_as_dataset(q)],
+                distance=EarthMoverDistance(exact_1d=False),
+            )
+
+    def test_quantile_divergences_rejected(self):
+        with pytest.raises(DistanceError):
+            StreamingDistortion(1, distance=KLDivergence())  # quantile default
 
 
 def _as_dataset(rows):

@@ -171,6 +171,85 @@ class TestSketchIntegration:
         assert streamed.sketch is None
 
 
+class TestDistanceSelector:
+    """``ExperimentConfig(distance=...)`` reaches both engines and keeps
+    them bitwise-identical to each other for every selectable distance."""
+
+    @pytest.mark.parametrize("name", ["kl", "js", "ks"])
+    def test_streamed_equals_block_per_distance(self, tiny_bundle, name):
+        cfg = ExperimentConfig(
+            n_replications=3, sample_size=10, seed=11, distance=name
+        )
+        runner = ExperimentRunner(tiny_bundle.dirty, tiny_bundle.ideal, config=cfg)
+        block = runner.run(STRATEGIES)
+        streamed = StreamingExperiment.from_scale(
+            "tiny", seed=0, config=cfg
+        ).run(STRATEGIES)
+        assert _keys(streamed.result) == _keys(block)
+        # The selector genuinely changed the metric relative to EMD.
+        emd_cfg = cfg.variant(distance=None)
+        emd_block = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=emd_cfg
+        ).run(STRATEGIES)
+        assert [o.distortion for o in block.outcomes] != [
+            o.distortion for o in emd_block.outcomes
+        ]
+
+    @pytest.mark.parametrize(
+        "backend",
+        [ThreadBackend(2), ProcessBackend(2, min_units=1)],
+        ids=lambda b: b.name,
+    )
+    def test_selector_is_backend_invariant(self, tiny_bundle, backend):
+        cfg = ExperimentConfig(
+            n_replications=3, sample_size=10, seed=11, distance="ks"
+        )
+        serial = StreamingExperiment.from_scale(
+            "tiny", seed=0, config=cfg
+        ).run(STRATEGIES)
+        parallel = StreamingExperiment.from_scale(
+            "tiny", seed=0, config=cfg, backend=backend
+        ).run(STRATEGIES)
+        assert _keys(serial.result) == _keys(parallel.result)
+
+    def test_selector_on_ragged_population(self):
+        cfg = ExperimentConfig(
+            n_replications=2, sample_size=8, seed=5, distance="ks"
+        )
+        ragged = TestRaggedStreaming.RAGGED
+        bundle = build_population(scale="tiny", seed=0, generator_config=ragged)
+        block = ExperimentRunner(bundle.dirty, bundle.ideal, config=cfg).run(STRATEGIES)
+        streamed = StreamingExperiment(
+            generator_config=ragged, seed=0, config=cfg
+        ).run(STRATEGIES)
+        assert _keys(streamed.result) == _keys(block)
+
+    def test_explicit_instance_beats_selector(self, tiny_bundle):
+        from repro.distance.ks import KolmogorovSmirnovDistance
+
+        cfg = ExperimentConfig(
+            n_replications=2, sample_size=8, seed=3, distance="kl"
+        )
+        by_name = ExperimentRunner(
+            tiny_bundle.dirty,
+            tiny_bundle.ideal,
+            config=cfg.variant(distance="ks"),
+        ).run(STRATEGIES)
+        by_instance = ExperimentRunner(
+            tiny_bundle.dirty,
+            tiny_bundle.ideal,
+            config=cfg,
+            distance=KolmogorovSmirnovDistance(),
+        ).run(STRATEGIES)
+        assert _keys(by_name) == _keys(by_instance)
+
+    def test_unknown_selector_fails_fast(self):
+        from repro.errors import DistanceError
+
+        with pytest.raises(DistanceError):
+            ExperimentConfig(distance="nope")
+
+
 class TestSelection:
     def test_env_knob(self, monkeypatch):
         monkeypatch.delenv("REPRO_STREAM", raising=False)
