@@ -242,6 +242,7 @@ class StreamingResult:
     n_gathered: int
     n_store_passes: int
     spilled_bytes: int
+    n_evicted: int = 0
     glitch_scores: Optional[np.ndarray] = None
     sketch: Optional[BottomKSketch] = None
     priority: Optional[PrioritySample] = None
@@ -270,10 +271,16 @@ class StreamingExperiment:
     backend, n_workers, shard_size:
         Execution backend and shard layout for every streamed pass (and the
         replication evaluation); a pure wall-clock knob.
-    spill, spill_dir:
+    spill, spill_dir, disk_budget:
         Whether/where shards spill to disk after the first materialisation;
         with spilling off every pass regenerates from the seed recipes
-        (same numbers, more compute, zero disk).
+        (same numbers, more compute, zero disk). Spilled shards are
+        fingerprinted columnar store files (:mod:`repro.store.shards`)
+        served back as zero-copy memory-mapped views; ``disk_budget``
+        bounds the store in bytes (``REPRO_DISK_BUDGET`` applies when
+        ``None``), evicting over-budget shards back to their recipes
+        between passes — a pure disk/compute trade, never a numbers
+        change.
     sketch_k:
         When set, the final pass also scores every dirty series and builds a
         bottom-k sketch and a priority sample (weights = glitch scores) by
@@ -296,6 +303,7 @@ class StreamingExperiment:
         shard_size: Optional[int] = None,
         spill: bool = True,
         spill_dir: Optional[str] = None,
+        disk_budget: Optional[int] = None,
         sketch_k: Optional[int] = None,
     ):
         if max_iter < 1:
@@ -359,6 +367,7 @@ class StreamingExperiment:
             shard_size=shard_size,
             spill=spill,
             spill_dir=spill_dir,
+            disk_budget=disk_budget,
         )
         self._store_passes = 0
 
@@ -581,6 +590,7 @@ class StreamingExperiment:
                 n_gathered=len(entries),
                 n_store_passes=self._store_passes,
                 spilled_bytes=self.feed.spilled_bytes(),
+                n_evicted=self.feed.n_evicted,
                 glitch_scores=scores,
                 sketch=sketch,
                 priority=priority,

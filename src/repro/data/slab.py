@@ -13,9 +13,17 @@ out-of-core alternative the streaming engine runs on:
   series bit for bit, because every series is a pure function of its own
   pre-spawned stream — the same contract the sharded pipeline (PR 2) pins.
 * A source can **spill**: the first materialisation writes the shard to one
-  ``.npy``-backed file, and later passes stream it back instead of
-  recomputing — the classic out-of-core trade (disk for memory), with
-  ``float64`` round-tripping exactly.
+  memory-mapped columnar file (:mod:`repro.store.shards`), and later passes
+  stream it back as zero-copy views instead of recomputing — the classic
+  out-of-core trade (disk for memory), with ``float64`` round-tripping
+  exactly. Every shard file carries its recipe's fingerprint, and
+  :func:`load_slab` refuses to serve a file whose fingerprint does not match
+  the source in hand (a spill directory reused across configs or seeds
+  regenerates and overwrites instead of silently serving the wrong
+  population). A **disk budget** (``disk_budget=`` /
+  ``REPRO_DISK_BUDGET``) bounds the store: over-budget shard files are
+  evicted back to their seed recipes — free correctness-wise, because
+  recipes round-trip bitwise.
 * :class:`SlabFeed` plans the shard layout (reusing
   :class:`~repro.core.pipeline.Pipeline` / ``REPRO_SHARD_SIZE``), owns the
   spill directory, fans per-shard work across the execution backend, and
@@ -58,11 +66,15 @@ from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "DISK_BUDGET_ENV_VAR",
     "SlabSource",
     "TimeSlab",
     "SlabFeed",
     "load_slab",
 ]
+
+#: Environment variable bounding the spill store, in bytes (unset = unlimited).
+DISK_BUDGET_ENV_VAR = "REPRO_DISK_BUDGET"
 
 
 @dataclass(frozen=True)
@@ -124,46 +136,68 @@ def _materialize(source: SlabSource) -> list[TimeSeries]:
 
 
 def _spill(source: SlabSource, series: Sequence[TimeSeries]) -> None:
-    """Write the shard to its spill file (atomic; float64 round-trips exactly)."""
+    """Write the shard to its columnar spill file (atomic, fingerprinted;
+    float64 round-trips exactly)."""
+    from repro.store.shards import recipe_fingerprint, write_shard
+
+    n_attrs = series[0].n_attributes if series else 0
     lengths = np.array([s.length for s in series], dtype=np.int64)
-    values = np.concatenate([s.values for s in series], axis=0)
-    truth = np.concatenate([s.truth for s in series], axis=0)
+    values = (
+        np.concatenate([s.values for s in series], axis=0)
+        if series
+        else np.empty((0, n_attrs))
+    )
+    truth = (
+        np.concatenate([s.truth for s in series], axis=0)
+        if series and all(s.truth is not None for s in series)
+        else None
+    )
     # The directory may have been cleaned up since planning (e.g. a second
     # run() of the same engine); spilling recreates it rather than crashing.
     os.makedirs(os.path.dirname(source.store_path), exist_ok=True)
-    tmp = f"{source.store_path}.tmp{os.getpid()}"
-    with open(tmp, "wb") as fh:
-        np.savez(fh, lengths=lengths, values=values, truth=truth)
-    os.replace(tmp, source.store_path)
-
-
-def _read_store(source: SlabSource) -> list[TimeSeries]:
-    with np.load(source.store_path) as archive:
-        lengths = archive["lengths"]
-        values = archive["values"]
-        truth = archive["truth"]
-    bounds = np.concatenate([[0], np.cumsum(lengths)])
-    return [
-        TimeSeries(
-            node,
-            values[bounds[i] : bounds[i + 1]],
-            truth=truth[bounds[i] : bounds[i + 1]],
-        )
-        for i, node in enumerate(source.nodes)
-    ]
+    write_shard(
+        source.store_path,
+        lengths=lengths,
+        values=values,
+        truth=truth,
+        fingerprint=recipe_fingerprint(source),
+        attributes=series[0].attributes if series else (),
+    )
 
 
 def load_slab(source: SlabSource, spill: bool = False) -> list[TimeSeries]:
     """The shard's dirty series — from the spill store when present,
     regenerated from the seed recipes otherwise (bitwise-identical either
-    way). With ``spill=True`` a regenerated shard is written to its store
-    path so later passes stream instead of recompute; workers spill their
-    own disjoint files, so the write needs no coordination.
+    way).
+
+    A stored shard is served only after its header fingerprint matches the
+    recipe in hand (:func:`repro.store.shards.recipe_fingerprint`): a stale
+    or foreign file at ``store_path`` — a spill directory reused across
+    configs or seeds, a legacy-format leftover, a torn write — is
+    regenerated from the seed recipe and **overwritten**, never silently
+    served. Store-backed series are zero-copy views into the shard's
+    memory-mapped segments (read-only; consumers that mutate must copy, as
+    the gather and cleaning paths already do).
+
+    With ``spill=True`` a regenerated shard is written to its store path so
+    later passes stream instead of recompute; workers spill their own
+    disjoint files atomically, so the write needs no coordination.
     """
+    from repro.errors import StoreError
+    from repro.store.shards import read_shard, recipe_fingerprint
+
+    stale = False
     if source.store_path and os.path.exists(source.store_path):
-        return _read_store(source)
+        try:
+            handle = read_shard(source.store_path)
+        except StoreError:
+            stale = True  # torn/legacy/corrupt file: fall back to the recipe
+        else:
+            if handle.fingerprint == recipe_fingerprint(source):
+                return handle.series(source.nodes)
+            stale = True  # right place, wrong population: regenerate
     series = _materialize(source)
-    if spill and source.store_path:
+    if source.store_path and (spill or stale):
         _spill(source, series)
     return series
 
@@ -212,6 +246,13 @@ class SlabFeed:
         later passes (default True). ``spill_dir`` pins the location; by
         default a private temp directory is created and removed by
         :meth:`cleanup` / the context manager.
+    disk_budget:
+        Spill-store bound in bytes (``None`` defers to the
+        ``REPRO_DISK_BUDGET`` environment variable, unset = unlimited).
+        After each streamed pass, over-budget shard files are evicted —
+        oldest first — back to their seed recipes (:meth:`evict`); a later
+        pass regenerates them bitwise, so the budget trades compute for
+        disk and never changes a number.
     ring_capacity:
         Bound of the time-slab ring (:attr:`ring`).
     """
@@ -226,6 +267,7 @@ class SlabFeed:
         shard_size: Optional[int] = None,
         spill: bool = True,
         spill_dir: Optional[str] = None,
+        disk_budget: Optional[int] = None,
         ring_capacity: int = 4,
     ):
         from repro.core.pipeline import Pipeline
@@ -250,6 +292,16 @@ class SlabFeed:
         self.spill_dir = (
             (spill_dir or tempfile.mkdtemp(prefix="repro-slabs-")) if spill else None
         )
+        if disk_budget is None:
+            env = os.environ.get(DISK_BUDGET_ENV_VAR, "").strip()
+            if env:
+                disk_budget = int(env)
+        if disk_budget is not None and disk_budget < 0:
+            raise ValidationError(
+                f"disk_budget must be >= 0 bytes, got {disk_budget}"
+            )
+        self.disk_budget = disk_budget
+        self.n_evicted = 0
         self._plan()
 
     # -- planning ---------------------------------------------------------------
@@ -305,7 +357,7 @@ class SlabFeed:
                 inj_seeds=tuple(inj_seeds[shard.start : shard.stop]),
                 events=events,
                 store_path=(
-                    os.path.join(self.spill_dir, f"slab-{shard.index:05d}.npz")
+                    os.path.join(self.spill_dir, f"slab-{shard.index:05d}.slab")
                     if self.spill_dir
                     else None
                 ),
@@ -317,16 +369,23 @@ class SlabFeed:
 
     def map(self, fn: Callable, items: Optional[Sequence] = None) -> list:
         """Evaluate *fn* over work items (default: the sources) on the
-        feed's execution backend, preserving order."""
-        return self.pipeline.backend.map(
+        feed's execution backend, preserving order. When a disk budget is
+        set, over-budget shard files are evicted after the pass (between
+        passes is the only safe point: no worker holds a tmp file open)."""
+        out = self.pipeline.backend.map(
             fn, self.sources if items is None else items
         )
+        if self.disk_budget is not None:
+            self.evict()
+        return out
 
     def iter_series(self, spill: bool = True) -> Iterator[tuple[SlabSource, list[TimeSeries]]]:
         """Serially yield ``(source, dirty series)`` per shard, one shard in
         memory at a time."""
         for source in self.sources:
             yield source, load_slab(source, spill=spill)
+        if self.disk_budget is not None:
+            self.evict()
 
     # -- time-axis slabs ---------------------------------------------------------
 
@@ -383,22 +442,91 @@ class SlabFeed:
 
     # -- lifecycle ---------------------------------------------------------------
 
+    def _shard_files(self) -> list[os.DirEntry]:
+        """Completed shard files in the spill dir (tmp stragglers excluded)."""
+        if not self.spill_dir or not os.path.isdir(self.spill_dir):
+            return []
+        with os.scandir(self.spill_dir) as it:
+            return [
+                entry
+                for entry in it
+                if entry.is_file() and ".tmp" not in entry.name
+            ]
+
     def spilled_bytes(self) -> int:
-        """Total size of the spill store on disk (0 when spilling is off)."""
-        if not self.spill_dir:
+        """Total size of the spill store on disk (0 when spilling is off).
+
+        Counts only completed shard files: ``*.tmp*`` stragglers — the
+        leftovers of a worker that died between writing its tmp file and
+        publishing it with ``os.replace`` — are never part of the store and
+        are excluded (and swept by :meth:`evict` / :meth:`cleanup`).
+        """
+        return sum(entry.stat().st_size for entry in self._shard_files())
+
+    def sweep_tmp(self) -> int:
+        """Remove orphan ``*.tmp*`` spill files; returns bytes freed.
+
+        Only safe between passes — a live worker mid-spill holds its tmp
+        file open, and :meth:`map` / :meth:`evict` / :meth:`cleanup` call
+        this only from the coordinating process once a pass has completed.
+        """
+        if not self.spill_dir or not os.path.isdir(self.spill_dir):
             return 0
-        total = 0
-        for source in self.sources:
-            if source.store_path and os.path.exists(source.store_path):
-                total += os.path.getsize(source.store_path)
-        return total
+        freed = 0
+        with os.scandir(self.spill_dir) as it:
+            stragglers = [
+                entry for entry in it if entry.is_file() and ".tmp" in entry.name
+            ]
+        for entry in stragglers:
+            try:
+                size = entry.stat().st_size
+                os.unlink(entry.path)
+                freed += size
+            except OSError:  # pragma: no cover - raced by another sweeper
+                continue
+        return freed
+
+    def evict(self, budget: Optional[int] = None) -> int:
+        """Drop shard files back to their seed recipes until the store fits
+        *budget* bytes (default: the feed's ``disk_budget``); returns bytes
+        freed.
+
+        Oldest files (by modification time) go first. Eviction is free
+        correctness-wise — an evicted shard regenerates bitwise from its
+        recipe on the next :func:`load_slab` — and also sweeps orphan
+        ``*.tmp*`` stragglers, which never count toward the budget.
+        """
+        freed = self.sweep_tmp()
+        if budget is None:
+            budget = self.disk_budget
+        if budget is None or not self.spill_dir:
+            return freed
+        entries = sorted(
+            ((e.stat().st_mtime_ns, e.name, e.stat().st_size, e.path)
+             for e in self._shard_files()),
+        )
+        total = sum(size for _, _, size, _ in entries)
+        for _, _, size, path in entries:
+            if total <= budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - raced by another evictor
+                continue
+            total -= size
+            freed += size
+            self.n_evicted += 1
+        return freed
 
     def cleanup(self) -> None:
-        """Remove the spill store if this feed owns it."""
+        """Remove the spill store if this feed owns it; sweep tmp stragglers
+        out of an external (caller-owned) spill directory either way."""
         if self._owns_spill_dir and self.spill_dir and os.path.isdir(self.spill_dir):
             import shutil
 
             shutil.rmtree(self.spill_dir, ignore_errors=True)
+        else:
+            self.sweep_tmp()
 
     def __enter__(self) -> "SlabFeed":
         return self

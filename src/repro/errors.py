@@ -18,6 +18,7 @@ __all__ = [
     "TransportError",
     "SamplingError",
     "ExperimentError",
+    "StoreError",
 ]
 
 
@@ -59,3 +60,8 @@ class SamplingError(ReproError, ValueError):
 
 class ExperimentError(ReproError):
     """The experimental framework was configured or driven incorrectly."""
+
+
+class StoreError(ReproError):
+    """A persistent-store artifact (shard file, catalog) is malformed,
+    truncated, or does not match the recipe that claims it."""

@@ -170,6 +170,26 @@ class PopulationBundle:
             "limits": {a: limits.bounds(a) for a in limits.attributes},
         }
 
+    def content_key(self) -> str:
+        """Content-addressed identity of the bundle, for the experiment
+        catalog (:mod:`repro.store.catalog`).
+
+        A SHA-256 over :meth:`fingerprint` — the bitwise-comparable
+        reduction of everything the determinism contract pins — so two
+        bundles share a key iff they are bitwise-identical builds, however
+        they were produced (any backend, shard layout or engine).
+        """
+        import hashlib
+
+        fp = self.fingerprint()
+        h = hashlib.sha256()
+        for name in sorted(fp):
+            h.update(name.encode())
+            h.update(b"\x00")
+            h.update(repr(fp[name]).encode())
+            h.update(b"\x00")
+        return "content:" + h.hexdigest()
+
 
 def build_population(
     scale: str = "small",

@@ -15,6 +15,7 @@ Each function maps one paper artifact to library calls:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -24,7 +25,7 @@ from repro.cleaning.base import CleaningContext, CleaningStrategy
 from repro.cleaning.registry import paper_strategies, strategy_by_name
 from repro.core.cost import PAPER_COST_FRACTIONS, CostSweepResult, cost_sweep
 from repro.core.framework import ExperimentConfig, ExperimentResult, ExperimentRunner
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ValidationError
 from repro.experiments.config import PopulationBundle, experiment_config
 from repro.glitches.detectors import DetectorSuite
 from repro.glitches.outliers import SigmaOutlierDetector
@@ -46,6 +47,15 @@ __all__ = [
 ]
 
 
+#: ``run_experiment`` keyword arguments that are pure execution choices —
+#: they never change an outcome float, so a catalog hit stays valid under
+#: any combination of them. Anything else (custom configs, identification
+#: parameters) bypasses the catalog rather than risk a wrong key.
+_EXECUTION_ONLY_KWARGS = frozenset(
+    {"shard_size", "spill", "spill_dir", "disk_budget", "sketch_k", "n_workers"}
+)
+
+
 def run_experiment(
     scale: str = "small",
     seed: Seed = 0,
@@ -53,6 +63,7 @@ def run_experiment(
     strategies: Optional[Sequence[CleaningStrategy]] = None,
     backend=None,
     distance=None,
+    catalog=None,
     **streaming_kwargs,
 ) -> ExperimentResult:
     """The Figure-6 experiment at a named scale, through either engine.
@@ -64,34 +75,102 @@ def run_experiment(
     slab engine (:class:`~repro.core.streaming.StreamingExperiment`) with
     peak memory bounded by the shard size instead of the population. The
     two paths return bitwise-identical outcomes; extra keyword arguments
-    (``shard_size=``, ``spill_dir=``, ``sketch_k=``, ...) reach the
-    streaming engine only. *distance* — an instance, or the config's
-    ``distance`` name selector — is honoured identically by both engines.
+    (``shard_size=``, ``spill_dir=``, ``disk_budget=``, ``sketch_k=``, ...)
+    reach the streaming engine only. *distance* — an instance, or the
+    config's ``distance`` name selector — is honoured identically by both
+    engines.
+
+    *catalog* — a :class:`~repro.store.catalog.Catalog`, a path, or ``None``
+    to defer to ``REPRO_CATALOG`` — enables cross-run reuse: a cell whose
+    ``(population recipe, seed, config, distance, strategies)`` key is
+    already scored is served back bitwise-identically **without building the
+    population at all**, and a computed cell is stored for the next run.
+    Because catalog keys cover only outcome-determining inputs, a hit is
+    valid for either engine, any backend and any shard layout. Cells scored
+    with an explicit *distance* instance (rather than the config's name
+    selector) bypass the catalog.
     """
     from repro.core.streaming import run_streaming_experiment, streaming_enabled
-    from repro.experiments.config import build_population, experiment_config
+    from repro.experiments.config import SCALES, build_population, experiment_config
+    from repro.store.catalog import (
+        experiment_key,
+        population_recipe_key,
+        resolve_catalog,
+    )
 
     config = config or experiment_config(scale)
-    if streaming_enabled(config):
-        return run_streaming_experiment(
-            scale,
-            seed=seed,
-            config=config,
-            strategies=strategies,
-            distance=distance,
-            backend=backend,
-            **streaming_kwargs,
-        ).result
-    if streaming_kwargs:
-        raise ExperimentError(
-            f"streaming-only arguments {sorted(streaming_kwargs)} given, "
-            "but the streaming engine is not selected"
-        )
-    bundle = build_population(scale=scale, seed=seed, backend=backend)
-    return run_figure6(
-        bundle, config=config, strategies=strategies, backend=backend,
-        distance=distance,
-    )
+    strategy_list = list(strategies) if strategies else paper_strategies()
+    cat, owned = resolve_catalog(catalog)
+    try:
+        key = pop_key = None
+        if (
+            cat is not None
+            and distance is None
+            and set(streaming_kwargs) <= _EXECUTION_ONLY_KWARGS
+        ):
+            from repro.data.glitch_injection import GlitchInjectionConfig
+
+            gen_cfg = SCALES[scale].generator
+            inj_cfg = GlitchInjectionConfig()
+            try:
+                pop_key = population_recipe_key(gen_cfg, inj_cfg, seed)
+                key = experiment_key(pop_key, config, strategy_list)
+            except ValidationError:
+                key = pop_key = None  # non-replayable seed: compute as usual
+            if key is not None:
+                cached = cat.get_outcome(key)
+                if cached is not None:
+                    return cached
+        t0 = time.perf_counter()
+        if streaming_enabled(config):
+            engine = "streaming"
+            result = run_streaming_experiment(
+                scale,
+                seed=seed,
+                config=config,
+                strategies=strategy_list,
+                distance=distance,
+                backend=backend,
+                **streaming_kwargs,
+            ).result
+        else:
+            if streaming_kwargs:
+                raise ExperimentError(
+                    f"streaming-only arguments {sorted(streaming_kwargs)} given, "
+                    "but the streaming engine is not selected"
+                )
+            engine = "block"
+            bundle = build_population(scale=scale, seed=seed, backend=backend)
+            result = run_figure6(
+                bundle, config=config, strategies=strategy_list, backend=backend,
+                distance=distance,
+            )
+        if key is not None:
+            gen_cfg = SCALES[scale].generator
+            cat.record_population(
+                pop_key,
+                "recipe",
+                scale=scale,
+                seed=repr(seed),
+                generator=repr(gen_cfg),
+                injection=repr(inj_cfg),
+                n_series=gen_cfg.n_rnc
+                * gen_cfg.towers_per_rnc
+                * gen_cfg.sectors_per_tower,
+            )
+            cat.put_outcome(
+                key,
+                result,
+                population_key=pop_key,
+                config=config,
+                strategies=strategy_list,
+                engine=engine,
+                wall_s=time.perf_counter() - t0,
+            )
+        return result
+    finally:
+        if owned and cat is not None:
+            cat.close()
 
 
 # ---------------------------------------------------------------------------
@@ -289,6 +368,7 @@ def run_figure6(
     strategies: Optional[Sequence[CleaningStrategy]] = None,
     backend=None,
     distance=None,
+    catalog=None,
 ) -> ExperimentResult:
     """Evaluate the five paper strategies on one configuration.
 
@@ -299,12 +379,58 @@ def run_figure6(
     config's execution backend; replications fan out across it with
     identical results on any choice. ``distance`` (an instance) overrides
     the config's ``distance`` selector, EMD by default.
+
+    *catalog* (a :class:`~repro.store.catalog.Catalog`, a path, or ``None``
+    deferring to ``REPRO_CATALOG``) keys the cell by the bundle's
+    **content** identity (:meth:`PopulationBundle.content_key`) plus the
+    config and strategy panel: a sweep cell already scored against a
+    bitwise-identical bundle is served from the catalog instead of
+    recomputed, and computed cells are stored. Explicit *distance*
+    instances bypass the catalog.
     """
-    runner = ExperimentRunner(
-        bundle.dirty, bundle.ideal, config=config, backend=backend,
-        distance=distance,
-    )
-    return runner.run(list(strategies) if strategies else paper_strategies())
+    from repro.store.catalog import experiment_key, resolve_catalog
+
+    strategy_list = list(strategies) if strategies else paper_strategies()
+    cat, owned = resolve_catalog(catalog)
+    try:
+        key = pop_key = None
+        if cat is not None and distance is None:
+            cfg = config or ExperimentConfig()
+            try:
+                pop_key = bundle.content_key()
+                key = experiment_key(pop_key, cfg, strategy_list)
+            except ValidationError:
+                key = pop_key = None  # non-replayable config seed
+            if key is not None:
+                cached = cat.get_outcome(key)
+                if cached is not None:
+                    return cached
+        t0 = time.perf_counter()
+        runner = ExperimentRunner(
+            bundle.dirty, bundle.ideal, config=config, backend=backend,
+            distance=distance,
+        )
+        result = runner.run(strategy_list)
+        if key is not None:
+            cat.record_population(
+                pop_key,
+                "content",
+                scale=bundle.scale,
+                n_series=len(bundle.population),
+            )
+            cat.put_outcome(
+                key,
+                result,
+                population_key=pop_key,
+                config=cfg,
+                strategies=strategy_list,
+                engine="block",
+                wall_s=time.perf_counter() - t0,
+            )
+        return result
+    finally:
+        if owned and cat is not None:
+            cat.close()
 
 
 # ---------------------------------------------------------------------------
@@ -335,6 +461,7 @@ def run_table1(
     configs: Optional[dict[str, ExperimentConfig]] = None,
     backend=None,
     base_config: Optional[ExperimentConfig] = None,
+    catalog=None,
 ) -> dict[str, ExperimentResult]:
     """Run the five strategies under each named configuration.
 
@@ -344,7 +471,11 @@ def run_table1(
     custom generator or replication setup, otherwise the blocks are rebuilt
     from the ``bundle.scale`` preset and any customisation would silently
     revert. Render with :func:`repro.experiments.report.render_table1`.
+    *catalog* is forwarded to :func:`run_figure6`, so already-scored blocks
+    are served from the experiment catalog.
     """
+    from repro.store.catalog import resolve_catalog
+
     if configs is None:
         base = base_config or experiment_config(bundle.scale, log_transform=True)
         configs = {
@@ -354,7 +485,14 @@ def run_table1(
             ),
             f"n={base.sample_size}, no log": base.variant(log_transform=False),
         }
-    return {
-        label: run_figure6(bundle, config=config, backend=backend)
-        for label, config in configs.items()
-    }
+    # Resolve once so the three blocks share one connection (and one
+    # content_key worth of hashing per call, not per block re-open).
+    cat, owned = resolve_catalog(catalog)
+    try:
+        return {
+            label: run_figure6(bundle, config=config, backend=backend, catalog=cat)
+            for label, config in configs.items()
+        }
+    finally:
+        if owned and cat is not None:
+            cat.close()

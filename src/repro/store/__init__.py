@@ -1,0 +1,36 @@
+"""Persistent storage layer: columnar shard files + the experiment catalog.
+
+:mod:`repro.store.shards` is the memory-mapped columnar spill format (one
+self-describing file per population shard, header-fingerprinted against its
+seed recipe, zero-copy reads); :mod:`repro.store.catalog` is the WAL-mode
+SQLite catalog of populations, spilled shards and scored experiment cells
+that lets sweeps reuse results across runs bitwise-identically.
+"""
+
+from repro.store.catalog import (
+    CATALOG_ENV_VAR,
+    Catalog,
+    experiment_key,
+    population_recipe_key,
+    resolve_catalog,
+)
+from repro.store.shards import (
+    SHARD_SUFFIX,
+    ShardHandle,
+    read_shard,
+    recipe_fingerprint,
+    write_shard,
+)
+
+__all__ = [
+    "CATALOG_ENV_VAR",
+    "Catalog",
+    "experiment_key",
+    "population_recipe_key",
+    "resolve_catalog",
+    "SHARD_SUFFIX",
+    "ShardHandle",
+    "read_shard",
+    "recipe_fingerprint",
+    "write_shard",
+]

@@ -1,0 +1,349 @@
+"""SQLite experiment catalog — cross-run reuse of populations and outcomes.
+
+Every sweep cell the drivers evaluate is a pure function of a few small
+inputs: the population recipe (generator/injection configs + seed), the
+replication config, the distance selector and the strategy panel. The
+catalog persists that mapping, so a cell whose key is already scored is
+served back **bitwise-identically** instead of recomputed — the storage-side
+half of "re-run the paper after any change in seconds".
+
+Three tables (see :data:`_SCHEMA`): ``populations`` (recipe- or
+content-keyed population identities), ``shards`` (the spilled shard
+inventory of a population — fingerprints, paths, sizes) and ``outcomes``
+(scored experiment cells; the result payload is a pickle, which round-trips
+``float64`` exactly). The connection applies the WAL-mode pragma set for
+concurrent readers (``journal_mode=WAL``, ``synchronous=NORMAL``,
+``busy_timeout``, ``foreign_keys=ON``).
+
+Keys deliberately cover **only** outcome-determining inputs. Execution
+choices — backend, worker count, streaming engine, shard layout, spill
+location — are excluded, because the repo's determinism contracts make them
+bitwise-invisible: a cell computed by the in-memory block path is a valid
+cache hit for the same cell requested through the streaming engine, and vice
+versa. Strategy panels are keyed by ``(class, name, cost_fraction)``;
+callers running custom-parameterised strategy instances under a registry
+name should use a dedicated catalog file. Explicit
+:class:`~repro.distance.base.Distance` *instances* (as opposed to the
+config's name selector) have no canonical identity and bypass the catalog.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import StoreError, ValidationError
+
+__all__ = [
+    "CATALOG_ENV_VAR",
+    "Catalog",
+    "resolve_catalog",
+    "population_recipe_key",
+    "experiment_key",
+]
+
+#: Environment variable naming a catalog file every driver should reuse.
+CATALOG_ENV_VAR = "REPRO_CATALOG"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS populations (
+    key        TEXT PRIMARY KEY,
+    kind       TEXT NOT NULL,          -- 'recipe' (seed-keyed) or 'content'
+    scale      TEXT,
+    seed       TEXT,
+    generator  TEXT,
+    injection  TEXT,
+    n_series   INTEGER,
+    created    TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shards (
+    population_key TEXT    NOT NULL,
+    shard_index    INTEGER NOT NULL,
+    fingerprint    TEXT    NOT NULL,
+    store_path     TEXT,
+    n_series       INTEGER,
+    nbytes         INTEGER,
+    created        TEXT    NOT NULL,
+    PRIMARY KEY (population_key, shard_index)
+);
+CREATE TABLE IF NOT EXISTS outcomes (
+    key            TEXT PRIMARY KEY,
+    population_key TEXT NOT NULL,
+    distance       TEXT NOT NULL,
+    config         TEXT NOT NULL,      -- canonical JSON of the keyed fields
+    strategies     TEXT NOT NULL,
+    engine         TEXT,
+    wall_s         REAL,
+    payload        BLOB NOT NULL,      -- pickled ExperimentResult
+    created        TEXT NOT NULL
+);
+"""
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _seed_token(seed) -> str:
+    """Canonical text of a replayable seed (int / SeedSequence / None)."""
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return repr(int(seed) if seed is not None else None)
+    if isinstance(seed, np.random.SeedSequence):
+        return repr((seed.entropy, seed.spawn_key, seed.pool_size))
+    raise ValidationError(
+        "catalog keys need a replayable seed (int or SeedSequence); a live "
+        f"Generator cannot be keyed: {seed!r}"
+    )
+
+
+def population_recipe_key(
+    generator_config, injection_config, seed
+) -> str:
+    """Seed-keyed identity of a population that has not been built yet.
+
+    Hashes the stage configs (frozen dataclasses with deterministic
+    ``repr``) and the root seed — exactly the inputs
+    :func:`~repro.experiments.config.build_population` and the slab feed
+    derive every per-series stream from, so equal keys mean bitwise-equal
+    populations without materialising either.
+    """
+    return "recipe:" + _digest(
+        repr(generator_config), repr(injection_config), _seed_token(seed)
+    )
+
+
+def config_token(config) -> dict:
+    """The outcome-determining fields of an :class:`ExperimentConfig`.
+
+    Backend, worker count and the streaming selector are excluded — they are
+    execution choices the determinism contracts make bitwise-invisible.
+    """
+    return {
+        "n_replications": int(config.n_replications),
+        "sample_size": int(config.sample_size),
+        "log_transform": bool(config.log_transform),
+        "sigma_k": repr(float(config.sigma_k)),
+        "seed": _seed_token(config.seed),
+        "distance": config.distance or "emd",
+    }
+
+
+def strategies_token(strategies: Sequence) -> list[dict]:
+    """Canonical identity of a strategy panel, in evaluation order."""
+    return [
+        {
+            "type": f"{type(s).__module__}.{type(s).__qualname__}",
+            "name": s.name,
+            "cost_fraction": repr(float(s.cost_fraction)),
+        }
+        for s in strategies
+    ]
+
+
+def experiment_key(
+    population_key: str, config, strategies: Sequence
+) -> str:
+    """The catalog key of one scored sweep cell.
+
+    ``(population, seed, config, distance, strategy panel)`` — everything
+    that determines the outcome floats, and nothing that does not.
+    """
+    return "outcome:" + _digest(
+        population_key,
+        json.dumps(config_token(config), sort_keys=True),
+        json.dumps(strategies_token(strategies), sort_keys=True),
+    )
+
+
+class Catalog:
+    """One catalog file: WAL-mode SQLite with put/get of scored cells.
+
+    A ``Catalog`` wraps a single connection (use one instance per thread;
+    WAL mode makes concurrent *processes* against the same file safe —
+    readers never block the writer). ``hits``/``misses`` count
+    :meth:`get_outcome` results for this instance, which is what the
+    cold-vs-warm benchmark and the reuse tests assert on.
+    """
+
+    def __init__(self, path: Union[str, Path], busy_timeout_ms: int = 30_000):
+        self.path = str(path)
+        self.hits = 0
+        self.misses = 0
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(
+                self.path, timeout=busy_timeout_ms / 1000.0
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open catalog {self.path}: {exc}") from exc
+
+    # -- populations and shards -------------------------------------------------
+
+    def record_population(
+        self,
+        key: str,
+        kind: str,
+        scale: Optional[str] = None,
+        seed: Optional[str] = None,
+        generator: Optional[str] = None,
+        injection: Optional[str] = None,
+        n_series: Optional[int] = None,
+    ) -> None:
+        """Insert one population identity row (idempotent)."""
+        self._conn.execute(
+            "INSERT OR IGNORE INTO populations "
+            "(key, kind, scale, seed, generator, injection, n_series, created) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (key, kind, scale, seed, generator, injection, n_series, _now()),
+        )
+        self._conn.commit()
+
+    def record_shard(
+        self,
+        population_key: str,
+        shard_index: int,
+        fingerprint: str,
+        store_path: Optional[str] = None,
+        n_series: Optional[int] = None,
+        nbytes: Optional[int] = None,
+    ) -> None:
+        """Upsert one spilled-shard inventory row for a population."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO shards "
+            "(population_key, shard_index, fingerprint, store_path, n_series, "
+            "nbytes, created) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                population_key,
+                int(shard_index),
+                fingerprint,
+                store_path,
+                n_series,
+                nbytes,
+                _now(),
+            ),
+        )
+        self._conn.commit()
+
+    def shards(self, population_key: str) -> list[sqlite3.Row]:
+        """The shard inventory of one population, in shard order."""
+        cur = self._conn.execute(
+            "SELECT * FROM shards WHERE population_key = ? ORDER BY shard_index",
+            (population_key,),
+        )
+        cur.row_factory = sqlite3.Row
+        return list(cur)
+
+    # -- outcomes ---------------------------------------------------------------
+
+    def get_outcome(self, key: str):
+        """The stored :class:`ExperimentResult` for *key*, or ``None``.
+
+        A hit unpickles the stored payload — the exact object graph of the
+        run that produced it, outcome floats bitwise-identical.
+        """
+        row = self._conn.execute(
+            "SELECT payload FROM outcomes WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(row[0])
+
+    def put_outcome(
+        self,
+        key: str,
+        result,
+        population_key: str,
+        config,
+        strategies: Sequence,
+        engine: Optional[str] = None,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        """Store one scored cell (idempotent — last write wins)."""
+        token = config_token(config)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO outcomes "
+            "(key, population_key, distance, config, strategies, engine, "
+            "wall_s, payload, created) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                population_key,
+                token["distance"],
+                json.dumps(token, sort_keys=True),
+                json.dumps(strategies_token(strategies), sort_keys=True),
+                engine,
+                wall_s,
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+                _now(),
+            ),
+        )
+        self._conn.commit()
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Row counts per table plus this instance's hit/miss counters."""
+        counts = {
+            table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in ("populations", "shards", "outcomes")
+        }
+        return {**counts, "hits": self.hits, "misses": self.misses}
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Catalog({self.path!r})"
+
+
+def resolve_catalog(
+    catalog: Union[None, str, Path, "Catalog"],
+) -> tuple[Optional["Catalog"], bool]:
+    """Resolve a driver's ``catalog=`` argument to ``(catalog, owned)``.
+
+    A :class:`Catalog` instance passes through (caller keeps ownership); a
+    path opens a catalog the resolver owns (the caller must close it —
+    ``owned`` is ``True``); ``None`` defers to the ``REPRO_CATALOG``
+    environment variable, and finally to no catalog at all.
+    """
+    if isinstance(catalog, Catalog):
+        return catalog, False
+    if catalog is None:
+        env = os.environ.get(CATALOG_ENV_VAR, "").strip()
+        if not env:
+            return None, False
+        catalog = env
+    return Catalog(catalog), True
