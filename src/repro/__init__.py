@@ -105,6 +105,8 @@ from repro.distance import (
 )
 from repro.errors import ReproError
 from repro.experiments import (
+    SweepCell,
+    SweepResult,
     backend_from_env,
     build_population,
     experiment_config,
@@ -118,6 +120,7 @@ from repro.experiments import (
     run_experiment,
     run_figure6,
     run_figure7,
+    run_sweep,
     run_table1,
     scale_from_env,
 )
@@ -218,6 +221,9 @@ __all__ = [
     "run_figure6",
     "run_figure7",
     "run_table1",
+    "run_sweep",
+    "SweepCell",
+    "SweepResult",
     "render_table1",
     "render_strategy_summaries",
     "render_cost_summary",

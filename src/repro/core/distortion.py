@@ -94,6 +94,7 @@ def statistical_distortion_batch(
     treated_seq: Sequence[Sample],
     distance: Optional[Distance] = None,
     transform: Optional[ScaleTransform] = None,
+    pooled_reference: Optional[np.ndarray] = None,
 ) -> list[float]:
     """Distortion of many treated data sets against one dirty reference.
 
@@ -126,10 +127,22 @@ def statistical_distortion_batch(
     NaN handling (KS) receive the rows whole, so a cleaner that blanks one
     column still gets scored on the remaining attributes exactly as the
     distance's own documentation promises.
+
+    *pooled_reference* short-circuits the dirty side: pass the array a prior
+    call to ``_pooled_analysis(dirty, transform, keep_partial=...)`` (with
+    the **same** transform and the distance's own ``complete_case``
+    semantics) produced, and the reference is not re-pooled. The sweep
+    planner's shared-frame evaluation uses this to pool each replication's
+    dirty sample once across a whole group of strategy panels — the arrays
+    are identical, so the distances are too.
     """
     distance = distance or EarthMoverDistance()
     keep_partial = not getattr(distance, "complete_case", True)
-    p = _pooled_analysis(dirty, transform, keep_partial=keep_partial)
+    p = (
+        pooled_reference
+        if pooled_reference is not None
+        else _pooled_analysis(dirty, transform, keep_partial=keep_partial)
+    )
     qs = [
         _pooled_analysis(t, transform, keep_partial=keep_partial)
         for t in treated_seq

@@ -29,7 +29,7 @@ from functools import partial
 from typing import Optional, Sequence, Union
 
 from repro.cleaning.base import CleaningContext, CleaningStrategy
-from repro.core.distortion import statistical_distortion_batch
+from repro.core.distortion import _pooled_analysis, statistical_distortion_batch
 from repro.core.evaluation import StrategyOutcome, StrategySummary, summarize_outcomes
 from repro.core.executor import ExecutionBackend, parse_backend_spec, resolve_backend
 from repro.core.glitch_index import (
@@ -37,7 +37,7 @@ from repro.core.glitch_index import (
     series_glitch_scores,
     series_glitch_scores_block,
 )
-from repro.data.block import SampleBlock, block_fast_path_enabled
+from repro.data.block import block_fast_path_enabled
 from repro.data.dataset import StreamDataset
 from repro.distance.base import Distance
 from repro.distance.emd import EarthMoverDistance
@@ -54,7 +54,9 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "evaluate_pair_outcomes",
+    "evaluate_pair_panels",
     "run_pair_stream",
+    "run_pair_panels_stream",
 ]
 
 
@@ -173,6 +175,184 @@ class ExperimentResult:
         return [r.improvement for r in rows], [r.distortion for r in rows]
 
 
+def _shared_context(template: CleaningContext, seed: Seed) -> CleaningContext:
+    """A per-panel cleaning context sharing *template*'s derived state.
+
+    The derived statistics (sigma limits, replacement means) are pure
+    functions of the ideal sample, and everything in the memo is a pure
+    function of its key (the :meth:`CleaningContext.memo` contract), so
+    sharing them across panels only skips bitwise-identical recomputation.
+    The random stream is **not** shared — each panel consumes its own
+    *seed*, exactly as it would in a standalone run.
+    """
+    ctx = CleaningContext(
+        ideal=template.ideal,
+        transform=template.transform,
+        constraints=template.constraints,
+        sigma_k=template.sigma_k,
+        seed=seed,
+        ideal_block=template.ideal_block,
+    )
+    ctx._memo = template._memo
+    for name in ("limits", "ideal_means", "analysis_means"):
+        if name in template.__dict__:
+            ctx.__dict__[name] = template.__dict__[name]
+    return ctx
+
+
+def evaluate_pair_panels(
+    pair: TestPair,
+    panels: Sequence[Sequence[CleaningStrategy]],
+    config: ExperimentConfig,
+    distances: Optional[Sequence[Optional[Distance]]] = None,
+    weights: Optional[GlitchWeights] = None,
+    constraints: Optional[ConstraintSet] = None,
+    seeds: Optional[Sequence[Seed]] = None,
+) -> list[list[StrategyOutcome]]:
+    """Evaluate many strategy panels on one replication pair, sharing the
+    dirty reference frame.
+
+    The sweep planner's work-sharing core: all panels of one shared-frame
+    cell group see the same pair, so the expensive panel-independent work —
+    the cleaning context's sigma limits, the detector suite, the dirty
+    sample's glitch annotation, and the pooled dirty reference rows of the
+    distortion distance — is computed **once** and reused, while everything
+    panel-dependent stays per panel: each panel cleans with its own random
+    stream (*seeds*, one per panel), and each panel's distortion grid spans
+    its own pooled union (the shared-support semantics of
+    :func:`~repro.core.distortion.statistical_distortion_batch` make the
+    grid a function of the panel composition, so merging panels would
+    change the numbers — sharing stops exactly where bitwise identity
+    would break).
+
+    *distances* supplies one distance per panel (``None`` entries — or the
+    argument itself being ``None`` — fall back to a fresh
+    ``config.make_distance()`` per panel, matching the one-instance-per-run
+    layout of the standalone path). Returns one outcome list per panel, in
+    panel order; a single-panel call is exactly
+    :func:`evaluate_pair_outcomes`.
+    """
+    panels = [list(panel) for panel in panels]
+    if not panels:
+        raise ExperimentError("need at least one strategy panel")
+    weights = weights or GlitchWeights()
+    constraints = constraints if constraints is not None else paper_constraints()
+    panel_distances = [
+        (distances[k] if distances is not None and distances[k] is not None
+         else config.make_distance())
+        for k in range(len(panels))
+    ]
+    panel_seeds = list(seeds) if seeds is not None else [None] * len(panels)
+    if len(panel_seeds) != len(panels):
+        raise ExperimentError(
+            f"got {len(panel_seeds)} seeds for {len(panels)} panels"
+        )
+    template = CleaningContext(
+        ideal=pair.ideal,
+        transform=config.transform,
+        constraints=constraints,
+        sigma_k=config.sigma_k,
+        seed=None,
+        ideal_block=getattr(pair, "ideal_block", None),
+    )
+    suite = DetectorSuite(
+        constraints=constraints,
+        outlier_detector=SigmaOutlierDetector(template.limits),
+        transform=config.transform,
+    )
+    block = getattr(pair, "dirty_block", None)
+    use_block = block is not None and block_fast_path_enabled()
+    # Glitch indexes are reported per reference sample of 100 series, so
+    # experiments with different B land on directly comparable axes —
+    # the paper's Figures 6(a) and 6(c) (B = 100 vs 500) share their
+    # improvement axis, which only works under such a normalisation.
+    if use_block:
+        per_100 = 100.0 / block.n_series
+        dirty_glitches = suite.annotate_block(block)
+        g_dirty = per_100 * float(
+            series_glitch_scores_block(dirty_glitches, weights).sum()
+        )
+    else:
+        per_100 = 100.0 / len(pair.dirty)
+        dirty_glitches = suite.annotate_dataset(pair.dirty)
+        g_dirty = per_100 * float(
+            series_glitch_scores(dirty_glitches, weights).sum()
+        )
+    dirty_fractions = dirty_glitches.record_fractions()
+    # The pooled dirty reference is panel-independent (for one NaN
+    # semantics); pool it once per semantics and hand it to every panel's
+    # batched distortion call.
+    pooled_refs: dict[bool, object] = {}
+
+    results: list[list[StrategyOutcome]] = []
+    for panel, distance, seed in zip(panels, panel_distances, panel_seeds):
+        context = _shared_context(template, seed)
+        keep_partial = not getattr(distance, "complete_case", True)
+        if keep_partial not in pooled_refs:
+            pooled_refs[keep_partial] = _pooled_analysis(
+                block if use_block else pair.dirty,
+                config.transform,
+                keep_partial=keep_partial,
+            )
+        if use_block:
+            treated_list: list = []
+            for strategy in panel:
+                # A strategy without a block implementation transparently
+                # falls back to its per-series ``clean`` (on zero-copy
+                # views) for just that panel slot.
+                treated = strategy.clean_block(block, context)
+                if treated is None:
+                    treated = strategy.clean(pair.dirty, context).to_block()
+                treated_list.append(treated)
+            distortions = statistical_distortion_batch(
+                block, treated_list, distance=distance,
+                transform=config.transform,
+                pooled_reference=pooled_refs[keep_partial],
+            )
+        else:
+            treated_list = [
+                strategy.clean(pair.dirty, context) for strategy in panel
+            ]
+            distortions = statistical_distortion_batch(
+                pair.dirty, treated_list, distance=distance,
+                transform=config.transform,
+                pooled_reference=pooled_refs[keep_partial],
+            )
+        # Derived statistics a panel computed lazily (replacement means,
+        # say) are pure — promote them so later panels reuse instead of
+        # recompute.
+        for name in ("limits", "ideal_means", "analysis_means"):
+            if name in context.__dict__ and name not in template.__dict__:
+                template.__dict__[name] = context.__dict__[name]
+        outcomes = []
+        for strategy, treated, distortion in zip(panel, treated_list, distortions):
+            if use_block:
+                treated_glitches = suite.annotate_block(treated)
+                g_treated = per_100 * float(
+                    series_glitch_scores_block(treated_glitches, weights).sum()
+                )
+            else:
+                treated_glitches = suite.annotate_dataset(treated)
+                g_treated = per_100 * float(
+                    series_glitch_scores(treated_glitches, weights).sum()
+                )
+            outcomes.append(
+                StrategyOutcome(
+                    strategy=strategy.name,
+                    replication=pair.index,
+                    improvement=g_dirty - g_treated,
+                    distortion=distortion,
+                    glitch_index_dirty=g_dirty,
+                    glitch_index_treated=g_treated,
+                    dirty_fractions=dict(dirty_fractions),
+                    treated_fractions=dict(treated_glitches.record_fractions()),
+                    cost_fraction=float(strategy.cost_fraction),
+                )
+            )
+        results.append(outcomes)
+    return results
+
+
 def evaluate_pair_outcomes(
     pair: TestPair,
     strategies: Sequence[CleaningStrategy],
@@ -196,116 +376,18 @@ def evaluate_pair_outcomes(
     the whole clean → annotate → score loop on block tensors — bitwise-
     identical outcomes, a fraction of the wall clock. ``REPRO_BLOCK=0``
     forces the per-series reference path.
+
+    The single-panel specialisation of :func:`evaluate_pair_panels`.
     """
-    distance = distance or config.make_distance()
-    weights = weights or GlitchWeights()
-    constraints = constraints if constraints is not None else paper_constraints()
-    context = CleaningContext(
-        ideal=pair.ideal,
-        transform=config.transform,
+    return evaluate_pair_panels(
+        pair,
+        [strategies],
+        config,
+        distances=[distance] if distance is not None else None,
+        weights=weights,
         constraints=constraints,
-        sigma_k=config.sigma_k,
-        seed=seed,
-        ideal_block=getattr(pair, "ideal_block", None),
-    )
-    suite = DetectorSuite(
-        constraints=constraints,
-        outlier_detector=SigmaOutlierDetector(context.limits),
-        transform=config.transform,
-    )
-    block = getattr(pair, "dirty_block", None)
-    if block is not None and block_fast_path_enabled():
-        return _evaluate_pair_block(
-            pair, block, strategies, config, distance, weights, context, suite
-        )
-    # Glitch indexes are reported per reference sample of 100 series, so
-    # experiments with different B land on directly comparable axes —
-    # the paper's Figures 6(a) and 6(c) (B = 100 vs 500) share their
-    # improvement axis, which only works under such a normalisation.
-    per_100 = 100.0 / len(pair.dirty)
-    dirty_glitches = suite.annotate_dataset(pair.dirty)
-    g_dirty = per_100 * float(series_glitch_scores(dirty_glitches, weights).sum())
-    dirty_fractions = dirty_glitches.record_fractions()
-
-    treated_sets = [strategy.clean(pair.dirty, context) for strategy in strategies]
-    distortions = statistical_distortion_batch(
-        pair.dirty, treated_sets, distance=distance, transform=config.transform
-    )
-    outcomes = []
-    for strategy, treated, distortion in zip(strategies, treated_sets, distortions):
-        treated_glitches = suite.annotate_dataset(treated)
-        g_treated = per_100 * float(
-            series_glitch_scores(treated_glitches, weights).sum()
-        )
-        outcomes.append(
-            StrategyOutcome(
-                strategy=strategy.name,
-                replication=pair.index,
-                improvement=g_dirty - g_treated,
-                distortion=distortion,
-                glitch_index_dirty=g_dirty,
-                glitch_index_treated=g_treated,
-                dirty_fractions=dict(dirty_fractions),
-                treated_fractions=dict(treated_glitches.record_fractions()),
-                cost_fraction=float(strategy.cost_fraction),
-            )
-        )
-    return outcomes
-
-
-def _evaluate_pair_block(
-    pair: TestPair,
-    block: SampleBlock,
-    strategies: Sequence[CleaningStrategy],
-    config: ExperimentConfig,
-    distance: Distance,
-    weights: GlitchWeights,
-    context: CleaningContext,
-    suite: DetectorSuite,
-) -> list[StrategyOutcome]:
-    """Columnar fast path of :func:`evaluate_pair_outcomes`.
-
-    Annotation, cleaning and pooling all run on the ``(B, T, v)`` block
-    tensor; a strategy without a block implementation transparently falls
-    back to its per-series ``clean`` (on zero-copy views) for just that
-    panel slot. Contractually bitwise-identical to the per-series path —
-    ``tests/test_block_strategies.py`` enforces it outcome field by outcome
-    field.
-    """
-    per_100 = 100.0 / block.n_series
-    dirty_glitches = suite.annotate_block(block)
-    g_dirty = per_100 * float(series_glitch_scores_block(dirty_glitches, weights).sum())
-    dirty_fractions = dirty_glitches.record_fractions()
-
-    treated_blocks: list[SampleBlock] = []
-    for strategy in strategies:
-        treated = strategy.clean_block(block, context)
-        if treated is None:
-            treated = strategy.clean(pair.dirty, context).to_block()
-        treated_blocks.append(treated)
-    distortions = statistical_distortion_batch(
-        block, treated_blocks, distance=distance, transform=config.transform
-    )
-    outcomes = []
-    for strategy, treated, distortion in zip(strategies, treated_blocks, distortions):
-        treated_glitches = suite.annotate_block(treated)
-        g_treated = per_100 * float(
-            series_glitch_scores_block(treated_glitches, weights).sum()
-        )
-        outcomes.append(
-            StrategyOutcome(
-                strategy=strategy.name,
-                replication=pair.index,
-                improvement=g_dirty - g_treated,
-                distortion=distortion,
-                glitch_index_dirty=g_dirty,
-                glitch_index_treated=g_treated,
-                dirty_fractions=dict(dirty_fractions),
-                treated_fractions=dict(treated_glitches.record_fractions()),
-                cost_fraction=float(strategy.cost_fraction),
-            )
-        )
-    return outcomes
+        seeds=[seed],
+    )[0]
 
 
 @dataclass(frozen=True)
@@ -387,6 +469,118 @@ def run_pair_stream(
     for batch in batches:
         result.outcomes.extend(batch)
     return result
+
+
+@dataclass(frozen=True)
+class _PanelsSpec:
+    """Everything a worker needs to evaluate one pair across many panels."""
+
+    config: ExperimentConfig
+    panels: tuple[tuple[CleaningStrategy, ...], ...]
+    distances: tuple[Distance, ...]
+    weights: GlitchWeights
+    constraints: ConstraintSet
+
+
+def _evaluate_panels_unit(spec: _PanelsSpec, unit: tuple) -> list[list[StrategyOutcome]]:
+    """Evaluate one ``(pair, per-panel seeds)`` work unit under a spec."""
+    pair, seeds = unit
+    return evaluate_pair_panels(
+        pair,
+        spec.panels,
+        config=spec.config,
+        distances=spec.distances,
+        weights=spec.weights,
+        constraints=spec.constraints,
+        seeds=seeds,
+    )
+
+
+def run_pair_panels_stream(
+    pairs,
+    panels: Sequence[Sequence[CleaningStrategy]],
+    config: ExperimentConfig,
+    distances: Optional[Sequence[Optional[Distance]]] = None,
+    weights: Optional[GlitchWeights] = None,
+    constraints: Optional[ConstraintSet] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
+    result_configs: Optional[Sequence[ExperimentConfig]] = None,
+) -> list[ExperimentResult]:
+    """Evaluate many strategy panels over one shared stream of test pairs.
+
+    The group-level driver of the incremental sweep planner
+    (:mod:`repro.experiments.sweep`): sweep cells that share a population
+    and an outcome-determining config — differing only in their strategy
+    panel — are evaluated in **one** pass over the replication pairs, with
+    the per-pair dirty reference frame hoisted by
+    :func:`evaluate_pair_panels`. Every panel gets its own pre-spawned
+    per-replication random streams, derived exactly as a standalone
+    :func:`run_pair_stream` of that panel would derive them, which is what
+    keeps each panel's outcomes bitwise-identical to its from-scratch run.
+
+    *pairs* must yield ``config.n_replications`` pairs in replication
+    order; they are shared by every panel (pairs are never mutated — every
+    strategy copies). Requires an int ``config.seed``: non-int seeds are
+    consumed order-dependently by the single-panel loop, so a multi-panel
+    pass could not replay the same streams. *result_configs* optionally
+    stamps each returned :class:`ExperimentResult` with its own cell
+    config (the cells of one group may differ in execution-only fields);
+    outcome evaluation always uses *config*. Returns one result per panel,
+    in panel order.
+    """
+    panels = tuple(tuple(panel) for panel in panels)
+    if not panels:
+        raise ExperimentError("need at least one strategy panel")
+    for panel in panels:
+        if not panel:
+            raise ExperimentError("need at least one strategy")
+        names = [s.name for s in panel]
+        if len(set(names)) != len(names):
+            raise ExperimentError(f"duplicate strategy names: {names}")
+    if not isinstance(config.seed, int):
+        raise ExperimentError(
+            "run_pair_panels_stream requires an int config seed; "
+            "SeedSequence/Generator seeds are consumed order-dependently "
+            "by the single-panel replication loop"
+        )
+    if result_configs is not None and len(result_configs) != len(panels):
+        raise ExperimentError(
+            f"got {len(result_configs)} result configs for {len(panels)} panels"
+        )
+    # One independent per-replication stream family per panel — the exact
+    # spawn a standalone run of that panel performs.
+    seed_lists = [
+        spawn_generators(config.seed + 1, config.n_replications)
+        for _ in panels
+    ]
+    spec = _PanelsSpec(
+        config=config,
+        panels=panels,
+        distances=tuple(
+            (distances[k] if distances is not None and distances[k] is not None
+             else config.make_distance())
+            for k in range(len(panels))
+        ),
+        weights=weights or GlitchWeights(),
+        constraints=constraints if constraints is not None else paper_constraints(),
+    )
+    resolved = resolve_backend(
+        backend if backend is not None else config.backend,
+        n_workers=config.n_workers,
+    )
+    batches = resolved.map(
+        partial(_evaluate_panels_unit, spec), zip(pairs, zip(*seed_lists))
+    )
+    results = [
+        ExperimentResult(
+            config=result_configs[k] if result_configs is not None else config
+        )
+        for k in range(len(panels))
+    ]
+    for batch in batches:
+        for k, outcomes in enumerate(batch):
+            results[k].outcomes.extend(outcomes)
+    return results
 
 
 class ExperimentRunner:

@@ -86,13 +86,16 @@ def run_experiment(
     already scored is served back bitwise-identically **without building the
     population at all**, and a computed cell is stored for the next run.
     Because catalog keys cover only outcome-determining inputs, a hit is
-    valid for either engine, any backend and any shard layout. Cells scored
-    with an explicit *distance* instance (rather than the config's name
-    selector) bypass the catalog.
+    valid for either engine, any backend and any shard layout. An explicit
+    *distance* instance that equals its registry default (per
+    :func:`~repro.store.catalog.distance_key_name`) is keyed by the registry
+    name — the same cell as the equivalent name selector; only genuinely
+    customised instances bypass the catalog.
     """
     from repro.core.streaming import run_streaming_experiment, streaming_enabled
     from repro.experiments.config import SCALES, build_population, experiment_config
     from repro.store.catalog import (
+        distance_key_name,
         experiment_key,
         population_recipe_key,
         resolve_catalog,
@@ -103,9 +106,10 @@ def run_experiment(
     cat, owned = resolve_catalog(catalog)
     try:
         key = pop_key = None
+        dist_name = distance_key_name(distance) if distance is not None else None
         if (
             cat is not None
-            and distance is None
+            and (distance is None or dist_name is not None)
             and set(streaming_kwargs) <= _EXECUTION_ONLY_KWARGS
         ):
             from repro.data.glitch_injection import GlitchInjectionConfig
@@ -114,7 +118,9 @@ def run_experiment(
             inj_cfg = GlitchInjectionConfig()
             try:
                 pop_key = population_recipe_key(gen_cfg, inj_cfg, seed)
-                key = experiment_key(pop_key, config, strategy_list)
+                key = experiment_key(
+                    pop_key, config, strategy_list, distance_name=dist_name
+                )
             except ValidationError:
                 key = pop_key = None  # non-replayable seed: compute as usual
             if key is not None:
@@ -166,6 +172,7 @@ def run_experiment(
                 strategies=strategy_list,
                 engine=engine,
                 wall_s=time.perf_counter() - t0,
+                distance_name=dist_name,
             )
         return result
     finally:
@@ -385,20 +392,29 @@ def run_figure6(
     **content** identity (:meth:`PopulationBundle.content_key`) plus the
     config and strategy panel: a sweep cell already scored against a
     bitwise-identical bundle is served from the catalog instead of
-    recomputed, and computed cells are stored. Explicit *distance*
+    recomputed, and computed cells are stored. An explicit *distance*
+    instance equal to its registry default is keyed by the registry name
+    (:func:`~repro.store.catalog.distance_key_name`); only customised
     instances bypass the catalog.
     """
-    from repro.store.catalog import experiment_key, resolve_catalog
+    from repro.store.catalog import (
+        distance_key_name,
+        experiment_key,
+        resolve_catalog,
+    )
 
     strategy_list = list(strategies) if strategies else paper_strategies()
     cat, owned = resolve_catalog(catalog)
     try:
         key = pop_key = None
-        if cat is not None and distance is None:
+        dist_name = distance_key_name(distance) if distance is not None else None
+        if cat is not None and (distance is None or dist_name is not None):
             cfg = config or ExperimentConfig()
             try:
                 pop_key = bundle.content_key()
-                key = experiment_key(pop_key, cfg, strategy_list)
+                key = experiment_key(
+                    pop_key, cfg, strategy_list, distance_name=dist_name
+                )
             except ValidationError:
                 key = pop_key = None  # non-replayable config seed
             if key is not None:
@@ -426,6 +442,7 @@ def run_figure6(
                 strategies=strategy_list,
                 engine="block",
                 wall_s=time.perf_counter() - t0,
+                distance_name=dist_name,
             )
         return result
     finally:
@@ -462,7 +479,7 @@ def run_table1(
     backend=None,
     base_config: Optional[ExperimentConfig] = None,
     catalog=None,
-) -> dict[str, ExperimentResult]:
+):
     """Run the five strategies under each named configuration.
 
     The paper's three blocks are ``n=100, log(attribute 1)``, ``n=500,
@@ -471,10 +488,16 @@ def run_table1(
     custom generator or replication setup, otherwise the blocks are rebuilt
     from the ``bundle.scale`` preset and any customisation would silently
     revert. Render with :func:`repro.experiments.report.render_table1`.
-    *catalog* is forwarded to :func:`run_figure6`, so already-scored blocks
-    are served from the experiment catalog.
+
+    The blocks run as one incremental sweep
+    (:func:`~repro.experiments.sweep.run_sweep`): with a *catalog*,
+    already-scored blocks are served bitwise-identically and only the
+    invalid ones recompute. Returns a
+    :class:`~repro.experiments.sweep.SweepResult` — a mapping
+    ``{label -> ExperimentResult}`` exactly like the dict this driver used
+    to return, plus per-cell provenance and hit/recompute counters.
     """
-    from repro.store.catalog import resolve_catalog
+    from repro.experiments.sweep import run_sweep, table1_cells
 
     if configs is None:
         base = base_config or experiment_config(bundle.scale, log_transform=True)
@@ -485,14 +508,9 @@ def run_table1(
             ),
             f"n={base.sample_size}, no log": base.variant(log_transform=False),
         }
-    # Resolve once so the three blocks share one connection (and one
-    # content_key worth of hashing per call, not per block re-open).
-    cat, owned = resolve_catalog(catalog)
-    try:
-        return {
-            label: run_figure6(bundle, config=config, backend=backend, catalog=cat)
-            for label, config in configs.items()
-        }
-    finally:
-        if owned and cat is not None:
-            cat.close()
+    return run_sweep(
+        table1_cells(bundle, configs),
+        catalog=catalog,
+        backend=backend,
+        name="table1",
+    )

@@ -23,8 +23,17 @@ cache hit for the same cell requested through the streaming engine, and vice
 versa. Strategy panels are keyed by ``(class, name, cost_fraction)``;
 callers running custom-parameterised strategy instances under a registry
 name should use a dedicated catalog file. Explicit
-:class:`~repro.distance.base.Distance` *instances* (as opposed to the
-config's name selector) have no canonical identity and bypass the catalog.
+:class:`~repro.distance.base.Distance` *instances* are keyed by their
+registry name when they are structurally equal to the registry default
+(:func:`distance_key_name`); custom-parameterised instances have no
+canonical identity and bypass the catalog.
+
+Every outcome key is additionally salted with the **code version**
+(:func:`code_salt`): scoring-relevant code changes bump
+:data:`CODE_VERSION`, which atomically invalidates every cached cell —
+the catalog-side half of the sweep planner's invalidation diff
+(:mod:`repro.experiments.sweep`). Set ``REPRO_CODE_SALT`` to override the
+salt without touching code (e.g. to force a full recompute).
 """
 
 from __future__ import annotations
@@ -44,14 +53,37 @@ from repro.errors import StoreError, ValidationError
 
 __all__ = [
     "CATALOG_ENV_VAR",
+    "CODE_SALT_ENV_VAR",
+    "CODE_VERSION",
     "Catalog",
     "resolve_catalog",
     "population_recipe_key",
     "experiment_key",
+    "code_salt",
+    "distance_key_name",
 ]
 
 #: Environment variable naming a catalog file every driver should reuse.
 CATALOG_ENV_VAR = "REPRO_CATALOG"
+
+#: Environment variable overriding the code-version salt (any non-empty
+#: value); bumping it invalidates every cached outcome without code changes.
+CODE_SALT_ENV_VAR = "REPRO_CODE_SALT"
+
+#: The scoring-code version folded into every outcome key. Bump it whenever
+#: a change alters any outcome float (a distance formula, a strategy's
+#: arithmetic, the glitch-index weights): old catalog rows then stop
+#: matching and every cell recomputes, instead of silently serving stale
+#: numbers. Pure performance work that preserves the bitwise-identity
+#: contract does **not** bump it — that is the whole point of keying by
+#: outcome-determining inputs only.
+CODE_VERSION = "2026.08-1"
+
+
+def code_salt() -> str:
+    """The salt folded into outcome keys: ``REPRO_CODE_SALT`` when set
+    (non-empty), else :data:`CODE_VERSION`."""
+    return os.environ.get(CODE_SALT_ENV_VAR, "").strip() or CODE_VERSION
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS populations (
@@ -84,6 +116,12 @@ CREATE TABLE IF NOT EXISTS outcomes (
     wall_s         REAL,
     payload        BLOB NOT NULL,      -- pickled ExperimentResult
     created        TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweeps (
+    id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    name     TEXT NOT NULL,
+    manifest TEXT NOT NULL,            -- JSON {cell name -> key components}
+    created  TEXT NOT NULL
 );
 """
 
@@ -157,18 +195,80 @@ def strategies_token(strategies: Sequence) -> list[dict]:
 
 
 def experiment_key(
-    population_key: str, config, strategies: Sequence
+    population_key: str,
+    config,
+    strategies: Sequence,
+    distance_name: Optional[str] = None,
 ) -> str:
     """The catalog key of one scored sweep cell.
 
-    ``(population, seed, config, distance, strategy panel)`` — everything
-    that determines the outcome floats, and nothing that does not.
+    ``(population, seed, config, distance, strategy panel, code salt)`` —
+    everything that determines the outcome floats, and nothing that does
+    not. *distance_name* overrides the config's ``distance`` selector in
+    the key — for callers scoring with an explicit instance that
+    :func:`distance_key_name` resolved to its registry default.
     """
+    token = config_token(config)
+    if distance_name is not None:
+        token["distance"] = distance_name
     return "outcome:" + _digest(
         population_key,
-        json.dumps(config_token(config), sort_keys=True),
+        json.dumps(token, sort_keys=True),
         json.dumps(strategies_token(strategies), sort_keys=True),
+        code_salt(),
     )
+
+
+def _state_equal(a, b) -> bool:
+    """Structural equality of two (nested) plain-state objects.
+
+    Recurses through ``__dict__`` of non-builtin instances (a distance's
+    binner, say), compares arrays by shape and content, and falls back to
+    ``==`` for primitives — conservative enough that a ``True`` means the
+    two objects compute identical numbers.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, np.ndarray):
+        return a.shape == b.shape and bool(np.array_equal(a, b, equal_nan=True))
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_state_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(_state_equal(a[k], b[k]) for k in a)
+    state = getattr(a, "__dict__", None)
+    if state is not None and type(a).__module__ != "builtins":
+        return _state_equal(state, getattr(b, "__dict__", {}))
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - exotic state defeats comparison
+        return False
+
+
+def distance_key_name(distance) -> Optional[str]:
+    """The registry name keying an explicit distance instance, or ``None``.
+
+    A :class:`~repro.distance.base.Distance` *instance* equal (structurally,
+    member by member) to its registry class's default construction scores
+    exactly what the name selector would — so it is keyed by that name
+    instead of bypassing the catalog. A custom-parameterised instance (or
+    one whose class is not the registered one for its name) returns
+    ``None``: it has no canonical identity and the caller must bypass.
+    """
+    if distance is None:
+        return None
+    from repro.distance import DISTANCES
+
+    cls = type(distance)
+    name = getattr(cls, "name", None)
+    if not name or DISTANCES.get(name) is not cls:
+        return None
+    try:
+        default = cls()
+    except Exception:
+        return None
+    return name if _state_equal(distance, default) else None
 
 
 class Catalog:
@@ -282,9 +382,17 @@ class Catalog:
         strategies: Sequence,
         engine: Optional[str] = None,
         wall_s: Optional[float] = None,
+        distance_name: Optional[str] = None,
     ) -> None:
-        """Store one scored cell (idempotent — last write wins)."""
+        """Store one scored cell (idempotent — last write wins).
+
+        *distance_name* mirrors :func:`experiment_key`'s override — pass the
+        same value used to derive *key* so the introspection columns agree
+        with what the cell was actually scored with.
+        """
         token = config_token(config)
+        if distance_name is not None:
+            token["distance"] = distance_name
         self._conn.execute(
             "INSERT OR REPLACE INTO outcomes "
             "(key, population_key, distance, config, strategies, engine, "
@@ -303,15 +411,71 @@ class Catalog:
         )
         self._conn.commit()
 
-    # -- introspection ----------------------------------------------------------
+    # -- sweep manifests --------------------------------------------------------
+
+    def record_sweep(self, name: str, manifest: dict) -> None:
+        """Append one named sweep's key manifest (``{cell -> components}``).
+
+        The planner diffs the latest manifest against the next run's plan to
+        report exactly which cells a config/code change invalidated.
+        """
+        self._conn.execute(
+            "INSERT INTO sweeps (name, manifest, created) VALUES (?, ?, ?)",
+            (name, json.dumps(manifest, sort_keys=True), _now()),
+        )
+        self._conn.commit()
+
+    def last_sweep(self, name: str) -> Optional[dict]:
+        """The most recent manifest recorded under *name*, or ``None``."""
+        row = self._conn.execute(
+            "SELECT manifest FROM sweeps WHERE name = ? ORDER BY id DESC LIMIT 1",
+            (name,),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    # -- introspection and maintenance ------------------------------------------
 
     def stats(self) -> dict:
-        """Row counts per table plus this instance's hit/miss counters."""
+        """Row counts per table, stored payload bytes, and this instance's
+        hit/miss counters."""
         counts = {
             table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
-            for table in ("populations", "shards", "outcomes")
+            for table in ("populations", "shards", "outcomes", "sweeps")
         }
-        return {**counts, "hits": self.hits, "misses": self.misses}
+        payload_bytes = self._conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM outcomes"
+        ).fetchone()[0]
+        return {
+            **counts,
+            "payload_bytes": int(payload_bytes),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def prune(self, max_bytes: int) -> int:
+        """Delete oldest outcomes until stored payloads fit *max_bytes*.
+
+        Oldest-first by ``created`` (insertion time), so the rows most
+        likely to be re-requested — the most recently scored — survive.
+        Returns the number of outcome rows removed. Populations, shards and
+        sweep manifests are tiny and never pruned.
+        """
+        if max_bytes < 0:
+            raise ValidationError("max_bytes must be non-negative")
+        rows = self._conn.execute(
+            "SELECT key, LENGTH(payload) FROM outcomes ORDER BY created ASC, key ASC"
+        ).fetchall()
+        total = sum(nbytes for _, nbytes in rows)
+        removed = 0
+        for key, nbytes in rows:
+            if total <= max_bytes:
+                break
+            self._conn.execute("DELETE FROM outcomes WHERE key = ?", (key,))
+            total -= nbytes
+            removed += 1
+        if removed:
+            self._conn.commit()
+        return removed
 
     # -- lifecycle --------------------------------------------------------------
 

@@ -395,6 +395,45 @@ class TestCatalogKeys:
         assert experiment_key("recipe:y", cfg, strategies) != base
         assert experiment_key("recipe:x", cfg, strategies[:2]) != base
 
+    def test_experiment_key_salted_by_code_version(self, monkeypatch):
+        """Bumping ``REPRO_CODE_SALT`` moves every key — the coarse hammer
+        for 'the numerics changed, recompute the world'."""
+        from repro.store.catalog import CODE_SALT_ENV_VAR, code_salt
+
+        cfg = experiment_config("tiny")
+        strategies = paper_strategies()
+        monkeypatch.delenv(CODE_SALT_ENV_VAR, raising=False)
+        base = experiment_key("recipe:x", cfg, strategies)
+        assert code_salt()  # never empty: defaults to the baked version
+        monkeypatch.setenv(CODE_SALT_ENV_VAR, "bumped")
+        assert experiment_key("recipe:x", cfg, strategies) != base
+
+    def test_distance_key_name_resolves_defaults(self):
+        """Default-constructed registry distances key by name; customised or
+        unregistered instances have no name (the conservative bypass)."""
+        from repro.distance import distance_by_name
+        from repro.distance.emd import EarthMoverDistance
+        from repro.store.catalog import distance_key_name
+
+        assert distance_key_name(None) is None
+        assert distance_key_name(distance_by_name("emd")) == "emd"
+        assert distance_key_name(EarthMoverDistance()) == "emd"
+        assert distance_key_name(distance_by_name("kl")) == "kl"
+        assert distance_key_name(EarthMoverDistance(n_bins=32)) is None
+        assert distance_key_name(EarthMoverDistance(standardize=False)) is None
+
+    def test_experiment_key_distance_name_override(self):
+        """An instance resolved to its registry name keys identically to the
+        config's name selector — one cell, not two."""
+        cfg = experiment_config("tiny")
+        strategies = paper_strategies()
+        named = experiment_key("recipe:x", cfg.variant(distance="kl"), strategies)
+        overridden = experiment_key(
+            "recipe:x", cfg, strategies, distance_name="kl"
+        )
+        assert overridden == named
+        assert overridden != experiment_key("recipe:x", cfg, strategies)
+
 
 # ---------------------------------------------------------------------------
 # Catalog storage
@@ -445,6 +484,52 @@ class TestCatalog:
         with Catalog(tmp_path / "inst.sqlite") as inst:
             assert resolve_catalog(inst) == (inst, False)
 
+    def test_stats_reports_payload_bytes(self, tmp_path, tiny_bundle):
+        cfg = ExperimentConfig(n_replications=1, sample_size=6, seed=2)
+        with Catalog(tmp_path / "cat.sqlite") as cat:
+            assert cat.stats()["payload_bytes"] == 0
+            run_figure6(
+                tiny_bundle, config=cfg, strategies=paper_strategies()[:1],
+                catalog=cat,
+            )
+            stats = cat.stats()
+            assert stats["outcomes"] == 1
+            assert stats["payload_bytes"] > 0
+
+    def test_prune_drops_oldest_first(self, tmp_path, tiny_bundle):
+        """Pruning to a byte budget removes oldest outcomes first and leaves
+        the survivors servable; population rows stay (they are tiny and
+        keep provenance queryable)."""
+        strategies = paper_strategies()[:1]
+        configs = [
+            ExperimentConfig(n_replications=1, sample_size=6, seed=s)
+            for s in (1, 2, 3)
+        ]
+        with Catalog(tmp_path / "cat.sqlite") as cat:
+            results = [
+                run_figure6(tiny_bundle, config=c, strategies=strategies,
+                            catalog=cat)
+                for c in configs
+            ]
+            full = cat.stats()["payload_bytes"]
+            assert cat.prune(max_bytes=full) == 0  # already within budget
+            removed = cat.prune(max_bytes=full // 2)
+            assert removed >= 1
+            stats = cat.stats()
+            assert stats["payload_bytes"] <= full // 2
+            assert stats["outcomes"] == 3 - removed
+            # The newest cell survives a generous budget and still serves.
+            served = run_figure6(
+                tiny_bundle, config=configs[-1], strategies=strategies,
+                catalog=cat,
+            )
+            assert _keys(served) == _keys(results[-1])
+            remaining = cat.stats()["outcomes"]
+            assert cat.prune(max_bytes=0) == remaining
+            assert cat.stats()["payload_bytes"] == 0
+            with pytest.raises(ValidationError):
+                cat.prune(max_bytes=-1)
+
 
 # ---------------------------------------------------------------------------
 # Driver wiring: run_experiment / run_figure6 / run_table1
@@ -493,14 +578,37 @@ class TestRunExperimentCatalog:
             kinds = sorted(k.split(":")[0] for (k,) in rows)
             assert kinds == ["content", "recipe"]
 
-    def test_explicit_distance_instance_bypasses(self, tmp_path):
+    def test_default_distance_instance_keys_by_name(self, tmp_path):
+        """An explicit instance equal to its registry default is the same
+        cell as the name selector — it hits, it doesn't bypass."""
         from repro.distance import distance_by_name
 
         with Catalog(tmp_path / "cat.sqlite") as cat:
-            run_experiment(
+            named = run_experiment(
+                scale="tiny", seed=0,
+                config=experiment_config("tiny").variant(distance="emd"),
+                catalog=cat,
+            )
+            assert cat.stats()["outcomes"] == 1
+            served = run_experiment(
                 scale="tiny", seed=0, distance=distance_by_name("emd"),
                 catalog=cat,
             )
+            assert _keys(served) == _keys(named)
+            assert (cat.hits, cat.misses) == (1, 1)
+            assert cat.stats()["outcomes"] == 1
+
+    def test_customised_distance_instance_bypasses(self, tmp_path):
+        """A genuinely non-default instance has no registry identity — the
+        run computes without touching the catalog."""
+        from repro.distance.emd import EarthMoverDistance
+
+        with Catalog(tmp_path / "cat.sqlite") as cat:
+            result = run_experiment(
+                scale="tiny", seed=0,
+                distance=EarthMoverDistance(n_bins=32), catalog=cat,
+            )
+            assert result.outcomes
             assert cat.stats()["outcomes"] == 0
             assert (cat.hits, cat.misses) == (0, 0)
 
