@@ -7,13 +7,21 @@ stream. This module owns the machinery that fans those units out:
 * :class:`SerialBackend` — a plain loop; the reference semantics.
 * :class:`ThreadBackend` — a thread pool; effective because the hot loops
   (numpy binning, scipy's HiGHS solve) release the GIL.
-* :class:`ProcessBackend` — a chunked :mod:`multiprocessing` pool for
-  CPU-bound scaling across cores; work functions and items must pickle.
+* :class:`ProcessBackend` — a chunked process pool for CPU-bound scaling
+  across cores; work functions and items must pickle.
 
 All backends preserve input order and evaluate every unit exactly once, so a
 parallel run is *bitwise identical* to a serial one as long as the work
 function is pure — which the framework guarantees by handing each unit its
 own pre-spawned :class:`numpy.random.Generator`.
+
+Purity also makes the backends *fault-tolerant*: every backend wraps the
+work function in the :class:`~repro.core.resilience.RetryPolicy` resolved
+from ``REPRO_RETRIES``/``REPRO_UNIT_TIMEOUT`` (retrying a pure unit cannot
+change any other unit's result), and :class:`ProcessBackend` survives
+worker death — it rebuilds the pool and re-dispatches only the unfinished
+chunks, then degrades process→thread→serial if pools keep dying, always
+converging on the same payload a clean run produces.
 
 Selection is by name (``"serial"``/``"thread"``/``"process"``, optionally
 ``"process:4"`` to pin the worker count) through :func:`resolve_backend`;
@@ -25,10 +33,14 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Protocol, TypeVar, Union, runtime_checkable
 
-from repro.errors import ExperimentError
+from repro.core.resilience import RetryPolicy, resilient, resolve_retry_policy
+from repro.errors import ExperimentError, ResilienceWarning
+from repro.testing.faults import fault_fires
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -84,13 +96,17 @@ class SerialBackend:
 
     name = "serial"
 
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None):
+        self.retry_policy = retry_policy
+
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Evaluate every item in order in the calling thread.
 
         Consumes *items* lazily, so a streamed work-unit generator keeps
         its one-unit-at-a-time memory footprint.
         """
-        return [fn(item) for item in items]
+        call = resilient(fn, self.retry_policy)
+        return [call(item) for item in items]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialBackend()"
@@ -105,25 +121,34 @@ class ThreadBackend:
         Pool size; defaults to the available CPU count. Threads share every
         object, so work functions must not mutate shared state — the
         framework's units are pure by construction.
+    retry_policy:
+        Per-unit retry policy; ``None`` resolves from the environment at
+        each ``map`` call (``REPRO_RETRIES``/``REPRO_UNIT_TIMEOUT``).
     """
 
     name = "thread"
 
-    def __init__(self, n_workers: Optional[int] = None):
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.n_workers = (
             check_positive_int(n_workers, "n_workers")
             if n_workers is not None
             else default_worker_count()
         )
+        self.retry_policy = retry_policy
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Evaluate items through a thread pool, preserving order."""
+        call = resilient(fn, self.retry_policy)
         items = list(items)
         workers = min(self.n_workers, len(items))
         if workers <= 1:
-            return [fn(item) for item in items]
+            return [call(item) for item in items]
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            return list(pool.map(call, items))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadBackend(n_workers={self.n_workers})"
@@ -144,13 +169,38 @@ MIN_UNITS_ENV_VAR = "REPRO_PROCESS_MIN_UNITS"
 _DEFAULT_MIN_UNITS = 16
 
 
+def _run_chunk(call: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Worker-side chunk loop, shipped to pool processes.
+
+    The ``worker`` fault site sits here — a hard ``os._exit`` before any
+    work, the closest deterministic stand-in for an OOM-killed or
+    segfaulted worker — so pool-death recovery is exercised end to end.
+    """
+    if fault_fires("worker"):
+        os._exit(1)
+    return [call(item) for item in chunk]
+
+
+class _PoolFailure(Exception):
+    """Internal: the current pool died or wedged; rebuild and re-dispatch."""
+
+
 class ProcessBackend:
-    """Chunked :mod:`multiprocessing` pool evaluation.
+    """Chunked process-pool evaluation with pool-death recovery.
 
     Work functions and items must pickle (the framework ships a
     ``functools.partial`` of a module-level function plus dataclass state,
     which does). Items are dispatched in contiguous chunks so per-chunk
-    pickling overhead is amortised; order is preserved by ``Pool.map``.
+    pickling overhead is amortised; results are reassembled in input order.
+
+    A dead pool (:class:`BrokenProcessPool` — a worker was OOM-killed,
+    segfaulted, or exited) is not fatal: completed chunks are kept, the
+    pool is rebuilt, and only the unfinished chunks are re-dispatched.
+    Because units are pure, the recovered payload is bitwise-identical to
+    an undisturbed run. After ``max_pool_rebuilds`` consecutive pool deaths
+    the backend stops fighting the environment and degrades the remaining
+    work to a thread pool, and to a plain serial loop if even threads
+    cannot be created — same numbers, lower throughput, never an abort.
 
     Parameters
     ----------
@@ -169,6 +219,15 @@ class ProcessBackend:
         the fork/pickle overhead). ``None`` defers to the
         ``REPRO_PROCESS_MIN_UNITS`` environment variable and then to a
         flat default of 16; pass ``1`` to always use the pool.
+    retry_policy:
+        Per-unit retry policy; ``None`` resolves from the environment at
+        each ``map`` call. Its ``unit_timeout`` doubles as the wedged-pool
+        watchdog: if no chunk completes within ``unit_timeout`` × the
+        largest pending chunk × ``max_attempts`` seconds, the pool is
+        presumed hung, its workers are terminated, and the map recovers as
+        for any other pool death.
+    max_pool_rebuilds:
+        Consecutive pool deaths tolerated before degrading to threads.
     """
 
     name = "process"
@@ -179,6 +238,8 @@ class ProcessBackend:
         chunksize: Optional[int] = None,
         start_method: Optional[str] = None,
         min_units: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_pool_rebuilds: int = 2,
     ):
         self.n_workers = (
             check_positive_int(n_workers, "n_workers")
@@ -192,6 +253,8 @@ class ProcessBackend:
         self.min_units = (
             check_positive_int(min_units, "min_units") if min_units is not None else None
         )
+        self.retry_policy = retry_policy
+        self.max_pool_rebuilds = check_positive_int(max_pool_rebuilds, "max_pool_rebuilds")
 
     def resolved_min_units(self) -> int:
         """The serial-fallback threshold this backend will apply."""
@@ -215,16 +278,123 @@ class ProcessBackend:
         loop: the work function is pure, so the fallback is bitwise-identical
         and only the pool start-up / pickling overhead disappears.
         """
-        import multiprocessing as mp
-
+        policy = resolve_retry_policy(self.retry_policy)
+        call = resilient(fn, policy)
         items = list(items)
         workers = min(self.n_workers, len(items))
         if workers <= 1 or len(items) < self.resolved_min_units():
-            return [fn(item) for item in items]
-        ctx = mp.get_context(self.start_method)
+            return [call(item) for item in items]
+
         chunksize = self.chunksize or max(1, math.ceil(len(items) / workers))
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(fn, items, chunksize=chunksize)
+        chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+        results: list[Optional[list[R]]] = [None] * len(chunks)
+        pending = set(range(len(chunks)))
+        deaths = 0
+        while pending:
+            try:
+                self._drain_pool(call, chunks, results, pending, workers, policy)
+            except _PoolFailure as failure:
+                deaths += 1
+                if deaths > self.max_pool_rebuilds:
+                    warnings.warn(
+                        f"process pool died {deaths} times ({failure}); degrading "
+                        f"{len(pending)} of {len(chunks)} chunks to the thread "
+                        "backend (results are unchanged — units are pure)",
+                        ResilienceWarning,
+                        stacklevel=2,
+                    )
+                    self._degrade(call, chunks, results, pending)
+                else:
+                    warnings.warn(
+                        f"process pool died ({failure}); rebuilding and "
+                        f"re-dispatching {len(pending)} of {len(chunks)} chunks",
+                        ResilienceWarning,
+                        stacklevel=2,
+                    )
+        return [value for chunk in results for value in chunk]  # type: ignore[union-attr]
+
+    def _drain_pool(
+        self,
+        call: Callable[[T], R],
+        chunks: list[list[T]],
+        results: list[Optional[list[R]]],
+        pending: set[int],
+        workers: int,
+        policy: RetryPolicy,
+    ) -> None:
+        """Run every pending chunk through one pool, harvesting as they land.
+
+        Completed chunks are removed from ``pending`` immediately, so a
+        pool death part-way through loses only the chunks still in flight.
+        Raises :class:`_PoolFailure` on worker death or watchdog expiry.
+        """
+        import multiprocessing as mp
+
+        ctx = mp.get_context(self.start_method)
+        budget: Optional[float] = None
+        if policy.unit_timeout:
+            largest = max(len(chunks[i]) for i in pending)
+            budget = policy.unit_timeout * largest * policy.max_attempts
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=ctx
+        )
+        try:
+            futures = {
+                pool.submit(_run_chunk, call, chunks[i]): i for i in sorted(pending)
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    self._terminate_workers(pool)
+                    raise _PoolFailure(
+                        f"no chunk completed within {budget:.1f}s; pool presumed wedged"
+                    )
+                for future in done:
+                    index = futures[future]
+                    results[index] = future.result()
+                    pending.discard(index)
+        except BrokenProcessPool as exc:
+            raise _PoolFailure(f"worker process died: {exc}") from exc
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Kill a wedged pool's workers so shutdown cannot hang on them."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def _degrade(
+        self,
+        call: Callable[[T], R],
+        chunks: list[list[T]],
+        results: list[Optional[list[R]]],
+        pending: set[int],
+    ) -> None:
+        """Last rungs of the ladder: finish pending chunks on threads,
+        or serially if the thread pool itself cannot be brought up."""
+        remaining = sorted(pending)
+        try:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                finished = list(
+                    pool.map(lambda i: [call(x) for x in chunks[i]], remaining)
+                )
+        except RuntimeError:  # e.g. "can't start new thread"
+            warnings.warn(
+                "thread backend unavailable; finishing the map serially",
+                ResilienceWarning,
+                stacklevel=2,
+            )
+            finished = [[call(x) for x in chunks[i]] for i in remaining]
+        for index, value in zip(remaining, finished):
+            results[index] = value
+            pending.discard(index)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(n_workers={self.n_workers})"

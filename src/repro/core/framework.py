@@ -46,6 +46,7 @@ from repro.glitches.constraints import ConstraintSet, paper_constraints
 from repro.glitches.detectors import DetectorSuite, ScaleTransform
 from repro.glitches.outliers import SigmaOutlierDetector
 from repro.sampling.replication import TestPair, generate_test_pairs
+from repro.testing.faults import inject_fault
 from repro.utils.rng import Seed, spawn_generators
 from repro.utils.validation import check_positive_int
 
@@ -407,6 +408,7 @@ class _RunSpec:
 
 def _evaluate_work_unit(spec: _RunSpec, unit: tuple) -> list[StrategyOutcome]:
     """Evaluate one ``(pair, seed)`` work unit under a run spec."""
+    inject_fault("unit")
     pair, seed = unit
     return evaluate_pair_outcomes(
         pair,
@@ -484,6 +486,7 @@ class _PanelsSpec:
 
 def _evaluate_panels_unit(spec: _PanelsSpec, unit: tuple) -> list[list[StrategyOutcome]]:
     """Evaluate one ``(pair, per-panel seeds)`` work unit under a spec."""
+    inject_fault("unit")
     pair, seeds = unit
     return evaluate_pair_panels(
         pair,

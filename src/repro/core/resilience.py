@@ -1,0 +1,182 @@
+"""Retry policy with deterministic backoff for pure work units.
+
+Work units in this library are pure functions of ``(item, pre-spawned RNG
+stream)`` — the determinism contract that makes every backend bitwise-
+identical also makes *retry-anywhere* sound: re-running a failed unit
+cannot change any other unit's result, so the retried run's payload is
+bitwise-identical to a clean run.
+
+:class:`RetryPolicy` is the single knob surface:
+
+* ``max_attempts`` — total tries per unit (``REPRO_RETRIES``; 1 disables),
+* exponential backoff capped at ``max_delay`` with *seeded* jitter — the
+  jitter stream is keyed on ``(jitter_seed, unit, attempt)``, so two runs
+  of the same plan sleep identically (no wall-clock entropy),
+* ``unit_timeout`` — per-unit watchdog seconds used by the process backend
+  to declare a wedged pool dead (``REPRO_UNIT_TIMEOUT``; unset/0 disables).
+
+:func:`resilient` wraps a work-unit callable in a picklable retrying
+proxy; :func:`is_retryable` encodes which failures are worth retrying
+(transient injected faults and unexpected runtime errors — not validation
+or shape errors, which are deterministic and would fail identically again).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import FaultInjectedError, ReproError, ValidationError
+
+__all__ = [
+    "RETRIES_ENV_VAR",
+    "UNIT_TIMEOUT_ENV_VAR",
+    "RetryPolicy",
+    "resolve_retry_policy",
+    "is_retryable",
+    "Resilient",
+    "resilient",
+]
+
+RETRIES_ENV_VAR = "REPRO_RETRIES"
+UNIT_TIMEOUT_ENV_VAR = "REPRO_UNIT_TIMEOUT"
+
+_DEFAULT_MAX_ATTEMPTS = 3
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether retrying the same pure unit could plausibly succeed.
+
+    Injected faults are transient by construction (the registry counts
+    hits).  Library errors other than that are deterministic — a
+    ``ValidationError`` or ``DataShapeError`` fails the same way every
+    time — as is ``MemoryError``.  Anything else (I/O hiccups, pool
+    plumbing, OS-level transients) is worth another attempt.
+    """
+    if isinstance(exc, FaultInjectedError):
+        return True
+    if isinstance(exc, (ReproError, MemoryError)):
+        return False
+    return isinstance(exc, Exception)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter."""
+
+    max_attempts: int = _DEFAULT_MAX_ATTEMPTS
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter_seed: int = 0
+    unit_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("backoff delays must be non-negative")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValidationError(
+                f"unit_timeout must be positive (or None), got {self.unit_timeout}"
+            )
+
+    def delay(self, attempt: int, unit: int = 0) -> float:
+        """Sleep before retry number ``attempt`` (0-based) of ``unit``.
+
+        Deterministic: the jitter factor in ``[0.5, 1.5)`` comes from a
+        generator seeded on ``(jitter_seed, unit, attempt)``, never the
+        clock, so backoff schedules are reproducible run-over-run.
+        """
+        base = min(self.base_delay * (2.0 ** attempt), self.max_delay)
+        rng = np.random.default_rng([self.jitter_seed, unit, attempt])
+        return base * (0.5 + rng.random())
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        retryable: Callable[[BaseException], bool] = is_retryable,
+        unit: int = 0,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)``, retrying per this policy."""
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                if attempt + 1 >= self.max_attempts or not retryable(exc):
+                    raise
+                pause = self.delay(attempt, unit=unit)
+                if pause > 0:
+                    time.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def resolve_retry_policy(
+    policy: Optional[RetryPolicy] = None, **overrides: Any
+) -> RetryPolicy:
+    """An explicit policy wins; otherwise build one from the environment.
+
+    ``REPRO_RETRIES`` sets ``max_attempts`` (min 1); ``REPRO_UNIT_TIMEOUT``
+    sets ``unit_timeout`` in seconds (unset, empty, or ``<= 0`` disables).
+    """
+    if policy is not None:
+        return replace(policy, **overrides) if overrides else policy
+    kwargs = dict(overrides)
+    raw = os.environ.get(RETRIES_ENV_VAR, "").strip()
+    if raw and "max_attempts" not in kwargs:
+        try:
+            kwargs["max_attempts"] = max(1, int(raw))
+        except ValueError:
+            raise ValidationError(
+                f"{RETRIES_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    raw = os.environ.get(UNIT_TIMEOUT_ENV_VAR, "").strip()
+    if raw and "unit_timeout" not in kwargs:
+        try:
+            seconds = float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{UNIT_TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
+            ) from None
+        kwargs["unit_timeout"] = seconds if seconds > 0 else None
+    return RetryPolicy(**kwargs)
+
+
+class Resilient:
+    """Picklable retrying proxy around a work-unit callable.
+
+    A plain class (not a closure) so process backends can ship it to
+    workers; equality/hash delegate to the wrapped pieces so backends that
+    key on the map function keep working.
+    """
+
+    def __init__(self, fn: Callable[..., Any], policy: RetryPolicy):
+        self.fn = fn
+        self.policy = policy
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.policy.call(self.fn, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resilient({self.fn!r}, attempts={self.policy.max_attempts})"
+
+
+def resilient(
+    fn: Callable[..., Any], policy: Optional[RetryPolicy] = None
+) -> Callable[..., Any]:
+    """Wrap ``fn`` per ``policy`` (env-resolved when ``None``).
+
+    Returns ``fn`` unchanged when retries are disabled so the no-fault
+    fast path adds zero call overhead.
+    """
+    resolved = resolve_retry_policy(policy)
+    if resolved.max_attempts <= 1:
+        return fn
+    return Resilient(fn, resolved)

@@ -68,6 +68,7 @@ from repro.sampling.replication import (
     replication_index_streams,
 )
 from repro.stats.descriptive import sigma_limits
+from repro.testing.faults import inject_fault
 from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
 from repro.utils.validation import check_fraction
 
@@ -116,6 +117,7 @@ def _profile_slab(spec: _ProfileSpec, source: SlabSource) -> tuple[np.ndarray, n
     ``GlitchMatrix.record_fraction`` exactly (same boolean reductions, same
     division).
     """
+    inject_fault("unit")
     series = load_slab(source, spill=True)
     miss = np.empty(len(series))
     inc = np.empty(len(series))
@@ -133,6 +135,7 @@ class _OutlierSpec:
 
 
 def _outlier_slab(spec: _OutlierSpec, source: SlabSource) -> np.ndarray:
+    inject_fault("unit")
     series = load_slab(source)
     out = np.empty(len(series))
     transform = spec.suite.transform
@@ -162,6 +165,7 @@ def _column_slab(
     commute with concatenation, so the coordinator's concatenated column is
     bitwise-identical to pooling the materialised ideal data set.
     """
+    inject_fault("unit")
     source, keep = unit
     series = load_slab(source)
     cols: list[np.ndarray] = []
@@ -192,6 +196,7 @@ def _gather_slab(
 ) -> tuple[list[tuple[int, TimeSeries]], np.ndarray]:
     """Kept ``(population index, series)`` pairs plus (optionally) the
     glitch scores of the shard's dirty members, in shard order."""
+    inject_fault("unit")
     source, dirty_mask = unit
     series = load_slab(source)
     kept: list[tuple[int, TimeSeries]] = []

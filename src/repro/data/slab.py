@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
@@ -61,7 +62,7 @@ from repro.data.glitch_injection import (
 )
 from repro.data.stream import TimeSeries
 from repro.data.topology import NodeId
-from repro.errors import DataShapeError, ValidationError
+from repro.errors import DataShapeError, StoreWarning, ValidationError
 from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
 from repro.utils.validation import check_positive_int
 
@@ -187,18 +188,39 @@ def load_slab(source: SlabSource, spill: bool = False) -> list[TimeSeries]:
     from repro.store.shards import read_shard, recipe_fingerprint
 
     stale = False
+    stale_reason = ""
     if source.store_path and os.path.exists(source.store_path):
         try:
             handle = read_shard(source.store_path)
-        except StoreError:
+        except StoreError as exc:
             stale = True  # torn/legacy/corrupt file: fall back to the recipe
+            stale_reason = f"unreadable ({exc})"
         else:
             if handle.fingerprint == recipe_fingerprint(source):
                 return handle.series(source.nodes)
             stale = True  # right place, wrong population: regenerate
+            stale_reason = "recipe fingerprint mismatch (stale or foreign population)"
+    if stale:
+        warnings.warn(
+            f"regenerating slab {source.store_path!r} from its seed recipe: "
+            f"{stale_reason}",
+            StoreWarning,
+            stacklevel=2,
+        )
     series = _materialize(source)
     if source.store_path and (spill or stale):
-        _spill(source, series)
+        try:
+            _spill(source, series)
+        except (OSError, StoreError) as exc:
+            # Non-fatal: the shard is already in memory, so the pass keeps
+            # its numbers; only the disk cache is missing, which later
+            # passes will regenerate (eviction pressure stays unrelieved).
+            warnings.warn(
+                f"could not spill slab {source.store_path!r} ({exc}); serving "
+                "the shard from its in-memory seed recipe instead",
+                StoreWarning,
+                stacklevel=2,
+            )
     return series
 
 

@@ -19,6 +19,10 @@ __all__ = [
     "SamplingError",
     "ExperimentError",
     "StoreError",
+    "FaultInjectedError",
+    "ReproWarning",
+    "StoreWarning",
+    "ResilienceWarning",
 ]
 
 
@@ -65,3 +69,26 @@ class ExperimentError(ReproError):
 class StoreError(ReproError):
     """A persistent-store artifact (shard file, catalog) is malformed,
     truncated, or does not match the recipe that claims it."""
+
+
+class FaultInjectedError(ReproError):
+    """A deterministic test fault fired (see :mod:`repro.testing.faults`).
+
+    Always transient by construction: the fault registry counts hits per
+    site, so a retry of the same work unit proceeds past the site once the
+    planned number of failures has been consumed.
+    """
+
+
+class ReproWarning(UserWarning):
+    """Base category for all warnings emitted by the ``repro`` library."""
+
+
+class StoreWarning(ReproWarning):
+    """A persistent-store operation degraded gracefully (spill skipped,
+    stale slab regenerated, catalog quarantined) instead of failing."""
+
+
+class ResilienceWarning(ReproWarning):
+    """The execution layer recovered from a failure (pool rebuilt, backend
+    degraded, sweep cell recorded as failed) instead of aborting the run."""

@@ -44,12 +44,13 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
 from repro.cleaning.base import CleaningStrategy
 from repro.core.framework import ExperimentConfig, ExperimentResult
-from repro.errors import ExperimentError, ValidationError
+from repro.errors import ExperimentError, ResilienceWarning, ValidationError
 from repro.utils.rng import Seed
 
 __all__ = [
@@ -309,13 +310,18 @@ class CellResult:
 
     ``source`` is ``"catalog"`` (served bitwise-identically from a prior
     run), ``"computed"`` (evaluated this run and stored when a catalog is
-    attached) or ``"uncacheable"`` (evaluated this run; no replayable key).
+    attached), ``"uncacheable"`` (evaluated this run; no replayable key) or
+    ``"failed"`` (the cell's evaluation raised after every recovery layer;
+    ``result`` is ``None`` and ``error`` carries the provenance — the
+    exception type and message). Failed cells are never recorded in the
+    catalog, so the next run retries exactly them.
     """
 
     name: str
     key: Optional[CellKey]
-    result: ExperimentResult
+    result: Optional[ExperimentResult]
     source: str
+    error: Optional[str] = None
 
 
 @dataclass
@@ -329,7 +335,9 @@ class SweepResult:
     ``cells`` carries per-cell provenance, ``diff`` the invalidation diff
     against the previous recorded run of the same named sweep, and the
     counters say how much work the plan actually avoided
-    (``n_hits``/``n_recomputed``/``n_builds``/``n_groups``).
+    (``n_hits``/``n_recomputed``/``n_builds``/``n_groups``) and how much of
+    it was lost to failures (``n_failed`` — see :meth:`failed`; the
+    completed frontier is always kept).
     """
 
     cells: list[CellResult] = field(default_factory=list)
@@ -339,6 +347,7 @@ class SweepResult:
     n_uncacheable: int = 0
     n_builds: int = 0
     n_groups: int = 0
+    n_failed: int = 0
 
     # -- mapping facade ---------------------------------------------------------
 
@@ -354,6 +363,10 @@ class SweepResult:
     def __getitem__(self, name: str) -> ExperimentResult:
         for c in self.cells:
             if c.name == name:
+                if c.result is None:
+                    raise ExperimentError(
+                        f"sweep cell {name!r} failed: {c.error}"
+                    )
                 return c.result
         raise KeyError(name)
 
@@ -384,6 +397,14 @@ class SweepResult:
             if c.name == name:
                 return c
         raise KeyError(name)
+
+    def failed(self) -> dict[str, str]:
+        """``{cell name -> error provenance}`` of every failed cell."""
+        return {
+            c.name: c.error or "unknown error"
+            for c in self.cells
+            if c.source == "failed"
+        }
 
     def served(self) -> list[str]:
         """Names of cells served from the catalog."""
@@ -419,6 +440,8 @@ class SweepResult:
         fractions: list[float] = []
         outcomes: list[StrategyOutcome] = []
         for cell in self.cells:
+            if cell.result is None:
+                continue
             for o in cell.result.outcomes:
                 if o.strategy != strategy_name and not o.strategy.startswith(prefix):
                     continue
@@ -581,7 +604,7 @@ def run_sweep(
                     served[cell.name] = cached
 
         to_compute = [c for c in plan.cells if c.name not in served]
-        computed, n_builds, n_groups = _compute_cells(
+        computed, errors, n_builds, n_groups = _compute_cells(
             to_compute, plan.keys, cat, backend
         )
 
@@ -593,6 +616,11 @@ def run_sweep(
                     CellResult(cell.name, key, served[cell.name], "catalog")
                 )
                 result.n_hits += 1
+            elif cell.name in errors:
+                result.cells.append(
+                    CellResult(cell.name, key, None, "failed", errors[cell.name])
+                )
+                result.n_failed += 1
             else:
                 source = "computed" if key is not None else "uncacheable"
                 result.cells.append(
@@ -609,17 +637,42 @@ def run_sweep(
             cat.close()
 
 
+def _fail_cells(
+    cells: Sequence[SweepCell], exc: BaseException, errors: dict
+) -> None:
+    """Record a failure for *cells* and keep the sweep going.
+
+    The provenance string (exception type + message) lands in every
+    affected cell's :class:`CellResult`; a :class:`ResilienceWarning`
+    surfaces the loss immediately. The completed frontier is untouched.
+    """
+    message = f"{type(exc).__name__}: {exc}"
+    names = [c.name for c in cells]
+    for name in names:
+        errors[name] = message
+    warnings.warn(
+        f"sweep cell(s) {', '.join(repr(n) for n in names)} failed "
+        f"({message}); recording the failure and continuing with the "
+        "remaining cells",
+        ResilienceWarning,
+        stacklevel=3,
+    )
+
+
 def _compute_cells(
     cells: Sequence[SweepCell],
     keys: Mapping[str, Optional[CellKey]],
     cat,
     backend,
-) -> tuple[dict[str, ExperimentResult], int, int]:
+) -> tuple[dict[str, ExperimentResult], dict[str, str], int, int]:
     """Evaluate the invalid frontier, shared-population group by group.
 
-    Returns ``({cell name -> result}, n_builds, n_groups)`` where
-    ``n_builds`` counts population materialisations and ``n_groups`` the
-    evaluation batches actually dispatched.
+    Returns ``({cell name -> result}, {cell name -> error}, n_builds,
+    n_groups)`` where ``n_builds`` counts population materialisations and
+    ``n_groups`` the evaluation batches actually dispatched. A cell appears
+    in exactly one of the two dicts: a failure anywhere in a group's
+    evaluation fails that group's still-unscored cells (with provenance)
+    and never the already-completed frontier.
     """
     from repro.core.streaming import streaming_enabled
 
@@ -628,6 +681,7 @@ def _compute_cells(
         groups.setdefault(_group_ident(cell, keys.get(cell.name)), []).append(cell)
 
     results: dict[str, ExperimentResult] = {}
+    errors: dict[str, str] = {}
     n_builds = 0
     n_groups = 0
     for members in groups.values():
@@ -637,23 +691,31 @@ def _compute_cells(
             and all(streaming_enabled(c.config) for c in members)
             and all(isinstance(c.config.seed, int) for c in members)
         ):
-            n_groups += _run_streaming_group(members, keys, cat, backend, results)
+            n_groups += _run_streaming_group(
+                members, keys, cat, backend, results, errors
+            )
             continue
         if bundle is None:
             from repro.experiments.config import build_population
 
             head = members[0]
             gen_cfg, inj_cfg = _recipe_configs(head)
-            bundle = build_population(
-                scale=head.scale if head.generator_config is None else "small",
-                seed=head.seed,
-                generator_config=gen_cfg,
-                injection_config=inj_cfg,
-                backend=backend,
-            )
+            try:
+                bundle = build_population(
+                    scale=head.scale if head.generator_config is None else "small",
+                    seed=head.seed,
+                    generator_config=gen_cfg,
+                    injection_config=inj_cfg,
+                    backend=backend,
+                )
+            except Exception as exc:
+                _fail_cells(members, exc, errors)
+                continue
             n_builds += 1
-        n_groups += _run_bundle_group(members, keys, cat, backend, bundle, results)
-    return results, n_builds, n_groups
+        n_groups += _run_bundle_group(
+            members, keys, cat, backend, bundle, results, errors
+        )
+    return results, errors, n_builds, n_groups
 
 
 def _run_bundle_group(
@@ -663,13 +725,15 @@ def _run_bundle_group(
     backend,
     bundle,
     results: dict,
+    errors: dict,
 ) -> int:
     """Evaluate one shared-population group on a materialised bundle.
 
     Cells are sub-grouped by outcome config (:func:`_frame_token`): each
     frame group runs as one multi-panel pass over shared pairs; cells that
-    cannot share fall back to a standalone runner. Returns the number of
-    evaluation batches dispatched.
+    cannot share fall back to a standalone runner. A failed pass fails only
+    its own cells (recorded in *errors*). Returns the number of evaluation
+    batches dispatched.
     """
     from repro.core.framework import ExperimentRunner, run_pair_panels_stream
     from repro.sampling.replication import generate_test_pairs
@@ -685,10 +749,15 @@ def _run_bundle_group(
             # in the exact lazy order of the single-panel loop.
             for cell in group:
                 t0 = time.perf_counter()
-                runner = ExperimentRunner(
-                    bundle.dirty, bundle.ideal, config=cell.config, backend=backend
-                )
-                results[cell.name] = runner.run(cell_strategies(cell))
+                try:
+                    runner = ExperimentRunner(
+                        bundle.dirty, bundle.ideal, config=cell.config,
+                        backend=backend,
+                    )
+                    results[cell.name] = runner.run(cell_strategies(cell))
+                except Exception as exc:
+                    _fail_cells([cell], exc, errors)
+                    continue
                 batches += 1
                 _maybe_record(
                     cat, cell, keys, results[cell.name], "block",
@@ -697,22 +766,26 @@ def _run_bundle_group(
             continue
         t0 = time.perf_counter()
         rep = group[0].config
-        pairs = list(
-            generate_test_pairs(
-                bundle.dirty,
-                bundle.ideal,
-                n_pairs=rep.n_replications,
-                sample_size=rep.sample_size,
-                seed=rep.seed,
+        try:
+            pairs = list(
+                generate_test_pairs(
+                    bundle.dirty,
+                    bundle.ideal,
+                    n_pairs=rep.n_replications,
+                    sample_size=rep.sample_size,
+                    seed=rep.seed,
+                )
             )
-        )
-        panel_results = run_pair_panels_stream(
-            pairs,
-            [cell_strategies(cell) for cell in group],
-            config=rep,
-            backend=backend,
-            result_configs=[cell.config for cell in group],
-        )
+            panel_results = run_pair_panels_stream(
+                pairs,
+                [cell_strategies(cell) for cell in group],
+                config=rep,
+                backend=backend,
+                result_configs=[cell.config for cell in group],
+            )
+        except Exception as exc:
+            _fail_cells(group, exc, errors)
+            continue
         batches += 1
         wall = time.perf_counter() - t0
         for cell, res in zip(group, panel_results):
@@ -727,31 +800,42 @@ def _run_streaming_group(
     cat,
     backend,
     results: dict,
+    errors: dict,
 ) -> int:
     """Evaluate one shared-recipe group through a single streaming engine.
 
     The feed (and its spilled shards) and the identification fixed point
     are shared across every cell; each cell runs its own replication loop
-    with its own config. Returns the number of engine runs dispatched.
+    with its own config. An engine that cannot be constructed fails the
+    whole group; a failed cell run fails only that cell (recorded in
+    *errors*). Returns the number of engine runs dispatched.
     """
     from repro.core.streaming import StreamingExperiment
 
     head = members[0]
-    gen_cfg, inj_cfg = _recipe_configs(head)
-    engine = StreamingExperiment(
-        generator_config=gen_cfg,
-        injection_config=inj_cfg,
-        seed=head.seed,
-        config=head.config,
-        backend=backend,
-    )
+    try:
+        gen_cfg, inj_cfg = _recipe_configs(head)
+        engine = StreamingExperiment(
+            generator_config=gen_cfg,
+            injection_config=inj_cfg,
+            seed=head.seed,
+            config=head.config,
+            backend=backend,
+        )
+    except Exception as exc:
+        _fail_cells(members, exc, errors)
+        return 0
     batches = 0
     try:
         for cell in members:
             t0 = time.perf_counter()
-            streamed = engine.run(
-                cell_strategies(cell), cleanup=False, config=cell.config
-            )
+            try:
+                streamed = engine.run(
+                    cell_strategies(cell), cleanup=False, config=cell.config
+                )
+            except Exception as exc:
+                _fail_cells([cell], exc, errors)
+                continue
             results[cell.name] = streamed.result
             batches += 1
             _maybe_record(

@@ -43,13 +43,16 @@ import json
 import os
 import pickle
 import sqlite3
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.errors import StoreError, ValidationError
+from repro.core.resilience import RetryPolicy
+from repro.errors import StoreError, StoreWarning, ValidationError
+from repro.testing.faults import inject_fault
 
 __all__ = [
     "CATALOG_ENV_VAR",
@@ -271,6 +274,20 @@ def distance_key_name(distance) -> Optional[str]:
     return name if _state_equal(distance, default) else None
 
 
+def _is_locked_error(exc: BaseException) -> bool:
+    """A transient write-contention error worth retrying (not corruption)."""
+    return isinstance(exc, sqlite3.OperationalError) and (
+        "locked" in str(exc).lower() or "busy" in str(exc).lower()
+    )
+
+
+#: Bounded retry on ``database is locked``: ``busy_timeout`` alone still
+#: surfaces intermittent ``OperationalError`` under process-parallel sweeps
+#: (the timeout does not cover every lock acquisition inside a statement),
+#: so every catalog read/write gets a short deterministic backoff on top.
+_LOCKED_RETRY = RetryPolicy(max_attempts=5, base_delay=0.02, max_delay=0.5)
+
+
 class Catalog:
     """One catalog file: WAL-mode SQLite with put/get of scored cells.
 
@@ -279,26 +296,102 @@ class Catalog:
     readers never block the writer). ``hits``/``misses`` count
     :meth:`get_outcome` results for this instance, which is what the
     cold-vs-warm benchmark and the reuse tests assert on.
+
+    Degradation rules: every statement retries briefly on ``database is
+    locked``; a file that is not a SQLite database at all (torn disk,
+    foreign file) is quarantine-renamed to ``{path}.corrupt[.k]`` at open
+    and a fresh catalog is started in its place, so a damaged cache can
+    never abort — or poison — a run.
     """
 
     def __init__(self, path: Union[str, Path], busy_timeout_ms: int = 30_000):
         self.path = str(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self.hits = 0
         self.misses = 0
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         try:
-            self._conn = sqlite3.connect(
-                self.path, timeout=busy_timeout_ms / 1000.0
+            self._conn = self._open()
+        except sqlite3.OperationalError as exc:
+            # Locked/permission-style trouble — the file may be fine;
+            # never quarantine on it.
+            raise StoreError(f"cannot open catalog {self.path}: {exc}") from exc
+        except sqlite3.DatabaseError as exc:
+            quarantined = self._quarantine()
+            warnings.warn(
+                f"catalog {self.path} is unreadable ({exc}); quarantined the "
+                f"damaged file to {quarantined} and starting a fresh catalog",
+                StoreWarning,
+                stacklevel=2,
             )
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
-            self._conn.execute("PRAGMA foreign_keys=ON")
-            self._conn.executescript(_SCHEMA)
-            self._conn.commit()
+            try:
+                self._conn = self._open()
+            except sqlite3.Error as exc2:
+                raise StoreError(
+                    f"cannot open catalog {self.path}: {exc2}"
+                ) from exc2
         except sqlite3.Error as exc:
             raise StoreError(f"cannot open catalog {self.path}: {exc}") from exc
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self.busy_timeout_ms / 1000.0)
+        try:
+            inject_fault(
+                "catalog.corrupt",
+                lambda: sqlite3.DatabaseError("file is not a database"),
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+            conn.execute("PRAGMA foreign_keys=ON")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self) -> str:
+        """Rename the damaged database (and WAL/SHM sidecars) out of the way."""
+        target = f"{self.path}.corrupt"
+        k = 0
+        while os.path.exists(target):
+            k += 1
+            target = f"{self.path}.corrupt.{k}"
+        os.replace(self.path, target)
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path + suffix
+            if os.path.exists(sidecar):
+                try:
+                    os.replace(sidecar, target + suffix)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        return target
+
+    def _execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
+        """``conn.execute`` with bounded retry on lock contention."""
+
+        def attempt() -> sqlite3.Cursor:
+            inject_fault(
+                "catalog.locked",
+                lambda: sqlite3.OperationalError("database is locked"),
+            )
+            return self._conn.execute(sql, params)
+
+        return _LOCKED_RETRY.call(attempt, retryable=_is_locked_error)
+
+    def _commit(self) -> None:
+        """``conn.commit`` with bounded retry on lock contention."""
+
+        def attempt() -> None:
+            inject_fault(
+                "catalog.locked",
+                lambda: sqlite3.OperationalError("database is locked"),
+            )
+            self._conn.commit()
+
+        _LOCKED_RETRY.call(attempt, retryable=_is_locked_error)
 
     # -- populations and shards -------------------------------------------------
 
@@ -313,13 +406,13 @@ class Catalog:
         n_series: Optional[int] = None,
     ) -> None:
         """Insert one population identity row (idempotent)."""
-        self._conn.execute(
+        self._execute(
             "INSERT OR IGNORE INTO populations "
             "(key, kind, scale, seed, generator, injection, n_series, created) "
             "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             (key, kind, scale, seed, generator, injection, n_series, _now()),
         )
-        self._conn.commit()
+        self._commit()
 
     def record_shard(
         self,
@@ -331,7 +424,7 @@ class Catalog:
         nbytes: Optional[int] = None,
     ) -> None:
         """Upsert one spilled-shard inventory row for a population."""
-        self._conn.execute(
+        self._execute(
             "INSERT OR REPLACE INTO shards "
             "(population_key, shard_index, fingerprint, store_path, n_series, "
             "nbytes, created) VALUES (?, ?, ?, ?, ?, ?, ?)",
@@ -345,11 +438,11 @@ class Catalog:
                 _now(),
             ),
         )
-        self._conn.commit()
+        self._commit()
 
     def shards(self, population_key: str) -> list[sqlite3.Row]:
         """The shard inventory of one population, in shard order."""
-        cur = self._conn.execute(
+        cur = self._execute(
             "SELECT * FROM shards WHERE population_key = ? ORDER BY shard_index",
             (population_key,),
         )
@@ -364,14 +457,27 @@ class Catalog:
         A hit unpickles the stored payload — the exact object graph of the
         run that produced it, outcome floats bitwise-identical.
         """
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT payload FROM outcomes WHERE key = ?", (key,)
         ).fetchone()
         if row is None:
             self.misses += 1
             return None
+        try:
+            result = pickle.loads(row[0])
+        except Exception as exc:
+            # A damaged payload is a miss, not an abort: recompute the cell
+            # (the INSERT OR REPLACE on put will repair the row).
+            warnings.warn(
+                f"catalog {self.path} holds an unreadable payload for "
+                f"{key!r} ({exc}); treating it as a miss and recomputing",
+                StoreWarning,
+                stacklevel=2,
+            )
+            self.misses += 1
+            return None
         self.hits += 1
-        return pickle.loads(row[0])
+        return result
 
     def put_outcome(
         self,
@@ -393,7 +499,7 @@ class Catalog:
         token = config_token(config)
         if distance_name is not None:
             token["distance"] = distance_name
-        self._conn.execute(
+        self._execute(
             "INSERT OR REPLACE INTO outcomes "
             "(key, population_key, distance, config, strategies, engine, "
             "wall_s, payload, created) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -409,7 +515,7 @@ class Catalog:
                 _now(),
             ),
         )
-        self._conn.commit()
+        self._commit()
 
     # -- sweep manifests --------------------------------------------------------
 
@@ -419,15 +525,15 @@ class Catalog:
         The planner diffs the latest manifest against the next run's plan to
         report exactly which cells a config/code change invalidated.
         """
-        self._conn.execute(
+        self._execute(
             "INSERT INTO sweeps (name, manifest, created) VALUES (?, ?, ?)",
             (name, json.dumps(manifest, sort_keys=True), _now()),
         )
-        self._conn.commit()
+        self._commit()
 
     def last_sweep(self, name: str) -> Optional[dict]:
         """The most recent manifest recorded under *name*, or ``None``."""
-        row = self._conn.execute(
+        row = self._execute(
             "SELECT manifest FROM sweeps WHERE name = ? ORDER BY id DESC LIMIT 1",
             (name,),
         ).fetchone()
@@ -439,10 +545,10 @@ class Catalog:
         """Row counts per table, stored payload bytes, and this instance's
         hit/miss counters."""
         counts = {
-            table: self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            table: self._execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
             for table in ("populations", "shards", "outcomes", "sweeps")
         }
-        payload_bytes = self._conn.execute(
+        payload_bytes = self._execute(
             "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM outcomes"
         ).fetchone()[0]
         return {
@@ -462,7 +568,7 @@ class Catalog:
         """
         if max_bytes < 0:
             raise ValidationError("max_bytes must be non-negative")
-        rows = self._conn.execute(
+        rows = self._execute(
             "SELECT key, LENGTH(payload) FROM outcomes ORDER BY created ASC, key ASC"
         ).fetchall()
         total = sum(nbytes for _, nbytes in rows)
@@ -470,11 +576,11 @@ class Catalog:
         for key, nbytes in rows:
             if total <= max_bytes:
                 break
-            self._conn.execute("DELETE FROM outcomes WHERE key = ?", (key,))
+            self._execute("DELETE FROM outcomes WHERE key = ?", (key,))
             total -= nbytes
             removed += 1
         if removed:
-            self._conn.commit()
+            self._commit()
         return removed
 
     # -- lifecycle --------------------------------------------------------------
@@ -502,6 +608,11 @@ def resolve_catalog(
     path opens a catalog the resolver owns (the caller must close it —
     ``owned`` is ``True``); ``None`` defers to the ``REPRO_CATALOG``
     environment variable, and finally to no catalog at all.
+
+    A path that cannot be opened at all (even after the corrupt-file
+    quarantine inside :class:`Catalog`) degrades to *no catalog*: the run
+    proceeds uncached — slower, never aborted — with a warning naming the
+    path.
     """
     if isinstance(catalog, Catalog):
         return catalog, False
@@ -510,4 +621,13 @@ def resolve_catalog(
         if not env:
             return None, False
         catalog = env
-    return Catalog(catalog), True
+    try:
+        return Catalog(catalog), True
+    except StoreError as exc:
+        warnings.warn(
+            f"cannot open catalog {catalog!s} ({exc}); continuing without a "
+            "catalog — every cell will be recomputed",
+            StoreWarning,
+            stacklevel=2,
+        )
+        return None, False

@@ -30,6 +30,7 @@ truncated segments and short headers with :class:`~repro.errors.StoreError`).
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -42,6 +43,7 @@ from repro.data.block import SampleBlock
 from repro.data.stream import TimeSeries
 from repro.data.topology import NodeId
 from repro.errors import DataShapeError, StoreError
+from repro.testing.faults import fault_fires, inject_fault
 
 __all__ = [
     "SHARD_SUFFIX",
@@ -150,18 +152,34 @@ def write_shard(
     }
     raw = json.dumps(header, sort_keys=True).encode()
     tmp = f"{path}.tmp{os.getpid()}"
-    with open(tmp, "wb") as fh:
-        fh.write(_MAGIC)
-        fh.write(struct.pack("<Q", len(raw)))
-        fh.write(raw)
-        pos = len(_MAGIC) + 8 + len(raw)
-        for spec in header["segments"]:
-            arr = segments[spec["name"]]
-            pad = _aligned(pos) - pos
-            fh.write(b"\x00" * pad)
-            data = arr.astype(spec["dtype"], copy=False).tobytes(order="C")
-            fh.write(data)
-            pos += pad + len(data)
+    inject_fault(
+        "slab.enospc", lambda: OSError(errno.ENOSPC, "No space left on device")
+    )
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(struct.pack("<Q", len(raw)))
+            fh.write(raw)
+            pos = len(_MAGIC) + 8 + len(raw)
+            for spec in header["segments"]:
+                arr = segments[spec["name"]]
+                pad = _aligned(pos) - pos
+                fh.write(b"\x00" * pad)
+                data = arr.astype(spec["dtype"], copy=False).tobytes(order="C")
+                fh.write(data)
+                pos += pad + len(data)
+        if fault_fires("slab.torn"):
+            # Publish a half-written file: what a crash between write and
+            # publish would leave if the rename landed anyway. read_shard
+            # must reject it with StoreError and the slab layer regenerate.
+            with open(tmp, "r+b") as fh:
+                fh.truncate(max(1, pos // 2))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     os.replace(tmp, path)
     return pos
 

@@ -1,0 +1,21 @@
+"""Test-support utilities: deterministic fault injection for resilience tests."""
+
+from repro.testing.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_fires,
+    inject_fault,
+    install_plan,
+)
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "fault_fires",
+    "inject_fault",
+    "install_plan",
+]

@@ -8,7 +8,16 @@ from repro import errors
 def test_all_exported_errors_derive_from_repro_error():
     for name in errors.__all__:
         cls = getattr(errors, name)
-        assert issubclass(cls, errors.ReproError)
+        if issubclass(cls, Warning):
+            assert issubclass(cls, errors.ReproWarning)
+        else:
+            assert issubclass(cls, errors.ReproError)
+
+
+def test_warning_categories_are_user_warnings():
+    assert issubclass(errors.ReproWarning, UserWarning)
+    assert issubclass(errors.StoreWarning, errors.ReproWarning)
+    assert issubclass(errors.ResilienceWarning, errors.ReproWarning)
 
 
 def test_validation_error_is_value_error():
