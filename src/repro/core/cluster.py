@@ -1,0 +1,947 @@
+"""Distributed execution — a fault-tolerant TCP cluster backend.
+
+:class:`ClusterBackend` dispatches the framework's existing picklable work
+units (pair units, shard stages, streaming gathers — the unit shape is
+unchanged) to remote ``repro-worker`` processes (:mod:`repro.worker`,
+``python -m repro.worker``). The scaling lesson it encodes is the LSST
+one: node loss is routine, so recovery must be cheap and *exact* — which
+the library's determinism contract supplies for free. Every unit carries
+its own pre-spawned random stream, so any unit can be re-run anywhere, any
+number of times, and the payload is bitwise-identical to a serial run.
+
+Robustness layers, outermost first:
+
+* **Framing** — every message is ``MAGIC + length + CRC32 + pickle``.
+  A torn read (EOF or timeout mid-frame) or a checksum/magic mismatch
+  raises :class:`~repro.errors.ClusterError`; a corrupt frame can never be
+  half-applied.
+* **Leases + heartbeats** — each in-flight unit is leased to exactly one
+  worker link; workers heartbeat between (and during) tasks. A link silent
+  past ``lease_ttl`` seconds is declared dead and *its units — and only
+  its units —* are released back to the queue for re-dispatch.
+* **Reconnect with backoff** — a dropped/corrupt connection is retried
+  through the shared :class:`~repro.core.resilience.RetryPolicy` (bounded
+  attempts, deterministic jitter) before the link is declared dead.
+* **Speculative re-dispatch** — once a latency profile exists, an idle
+  worker duplicates the longest-running straggler past the
+  ``speculate_quantile`` of completed unit durations. Duplicates are safe
+  (pure units) and resolved first-result-wins.
+* **Degradation** — when live links drop below ``quorum`` (or none ever
+  connect), the not-yet-completed units — and only those — finish on the
+  local :class:`~repro.core.executor.ProcessBackend`, which carries its
+  own process→thread→serial ladder. Same numbers, lower throughput,
+  never an abort; the step is recorded via
+  :func:`~repro.core.resilience.record_degradation`.
+
+Fault sites (coordinator-side: ``conn.drop``, ``conn.corrupt``,
+``lease.expire``; worker-side, via the inherited ``REPRO_FAULTS``
+environment: ``worker.lost``, ``worker.slow``) make every one of those
+recovery paths deterministically testable — see ``tests/test_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import select
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import warnings
+import weakref
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.resilience import (
+    RetryPolicy,
+    record_degradation,
+    resilient,
+    resolve_retry_policy,
+)
+from repro.errors import ClusterError, ExperimentError, ResilienceWarning, ValidationError
+from repro.testing.faults import fault_fires
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "CLUSTER_WORKERS_ENV_VAR",
+    "LEASE_TTL_ENV_VAR",
+    "SPECULATE_ENV_VAR",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_SPECULATE_QUANTILE",
+    "send_message",
+    "recv_message",
+    "parse_cluster_spec",
+    "resolve_lease_ttl",
+    "resolve_speculate_quantile",
+    "LocalWorker",
+    "start_local_workers",
+    "local_workers",
+    "ClusterBackend",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Worker count for locally spawned workers when the spec does not pin one.
+CLUSTER_WORKERS_ENV_VAR = "REPRO_CLUSTER_WORKERS"
+#: Lease/heartbeat liveness window in seconds.
+LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL"
+#: Straggler quantile in (0, 1); ``0``/``off``/``none`` disables speculation.
+SPECULATE_ENV_VAR = "REPRO_SPECULATE_QUANTILE"
+
+DEFAULT_LEASE_TTL = 10.0
+DEFAULT_SPECULATE_QUANTILE = 0.9
+#: Locally spawned workers when neither spec nor env pins a count. Two is
+#: deliberate: each worker is a full interpreter, and the backend exists to
+#: reach *other* boxes — heavy local fan-out is ProcessBackend's job.
+_DEFAULT_LOCAL_WORKERS = 2
+
+#: A straggler must exceed quantile × slack (with an absolute floor) before
+#: an idle worker duplicates it — the slack keeps natural jitter around the
+#: quantile from triggering useless duplicates.
+_SPECULATE_SLACK = 1.5
+_SPECULATE_FLOOR_S = 0.05
+
+# ---------------------------------------------------------------------------
+# Framing — length-prefixed, checksummed, torn/corrupt frames rejected
+# ---------------------------------------------------------------------------
+
+MAGIC = b"RPRO"
+_HEADER = struct.Struct("<II")  # payload length, CRC32
+_MAX_FRAME = 1 << 30
+
+
+def send_message(sock: socket.socket, message: dict, probes: bool = False) -> None:
+    """Send one framed message; the ``conn.drop`` site lives on this path.
+
+    ``probes`` is enabled only on the coordinator side so injected
+    connection faults fire deterministically in exactly one process.
+    """
+    if probes and fault_fires("conn.drop"):
+        with contextlib.suppress(OSError):
+            sock.close()
+        raise ConnectionResetError("injected fault at site 'conn.drop'")
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > _MAX_FRAME:
+        raise ClusterError(f"message of {len(payload)} bytes exceeds frame limit")
+    sock.sendall(MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int, mid_frame: bool) -> bytes:
+    """Read exactly *n* bytes; EOF or a timeout mid-frame is a torn frame."""
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except TimeoutError:
+            if buf or mid_frame:
+                raise ClusterError(
+                    f"torn frame: timed out after {len(buf)} of {n} bytes"
+                ) from None
+            raise
+        if not chunk:
+            if buf or mid_frame:
+                raise ClusterError(
+                    f"torn frame: connection closed after {len(buf)} of {n} bytes"
+                )
+            raise ConnectionError("connection closed")
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_message(
+    sock: socket.socket,
+    timeout: Optional[float] = None,
+    probes: bool = False,
+) -> dict:
+    """Receive one framed message, rejecting torn or corrupt frames.
+
+    ``timeout`` applies per read; a timeout *before any bytes of a frame*
+    propagates as :class:`TimeoutError` (the caller's liveness tick), while
+    one mid-frame is a torn frame (:class:`~repro.errors.ClusterError`).
+    The ``conn.corrupt`` site flips a payload byte *before* the checksum
+    check, so the real rejection path is what recovers from it.
+    """
+    sock.settimeout(timeout)
+    header = _recv_exact(sock, len(MAGIC) + _HEADER.size, mid_frame=False)
+    if header[: len(MAGIC)] != MAGIC:
+        raise ClusterError(f"bad frame magic {header[:len(MAGIC)]!r}")
+    length, crc = _HEADER.unpack(header[len(MAGIC):])
+    if length > _MAX_FRAME:
+        raise ClusterError(f"frame length {length} exceeds limit")
+    payload = _recv_exact(sock, length, mid_frame=True)
+    if probes and payload and fault_fires("conn.corrupt"):
+        payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
+    if zlib.crc32(payload) != crc:
+        # The full payload was consumed, so the stream is still framed
+        # correctly — receivers may answer instead of dropping the link.
+        error = ClusterError("corrupt frame: checksum mismatch")
+        error.in_sync = True
+        raise error
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        error = ClusterError(f"undecodable frame payload: {exc}")
+        error.in_sync = True
+        raise error from exc
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and knobs
+# ---------------------------------------------------------------------------
+
+
+def parse_cluster_spec(
+    spec: str,
+) -> tuple[Optional[list[tuple[str, int]]], Optional[int]]:
+    """Split a ``cluster[...]`` backend spec into ``(addresses, count)``.
+
+    Grammar: ``cluster`` (spawn local workers, count from
+    ``REPRO_CLUSTER_WORKERS``), ``cluster:4`` (spawn 4 local workers) or
+    ``cluster:host:port,host:port`` (connect to already-running workers).
+    Exactly one of the returned values is non-``None`` unless the spec is
+    bare.
+    """
+    name, _, rest = spec.strip().partition(":")
+    if name.strip().lower() != "cluster":
+        raise ExperimentError(f"not a cluster backend spec: {spec!r}")
+    rest = rest.strip()
+    if not rest:
+        return None, None
+    if rest.isdigit():
+        count = int(rest)
+        if count < 1:
+            raise ExperimentError(f"worker count must be >= 1, got {count}")
+        return None, count
+    addresses: list[tuple[str, int]] = []
+    for part in rest.split(","):
+        host, sep, port_text = part.strip().rpartition(":")
+        if not sep or not host:
+            raise ExperimentError(
+                f"cluster address must be host:port, got {part.strip()!r} "
+                f"in backend spec {spec!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ExperimentError(
+                f"invalid port {port_text!r} in backend spec {spec!r}"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise ExperimentError(f"port out of range in backend spec {spec!r}")
+        addresses.append((host, port))
+    return addresses, None
+
+
+def resolve_lease_ttl(explicit: Optional[float] = None) -> float:
+    """Lease/heartbeat liveness window: explicit, env, or default seconds."""
+    if explicit is not None:
+        ttl = float(explicit)
+    else:
+        raw = os.environ.get(LEASE_TTL_ENV_VAR, "").strip()
+        if not raw:
+            return DEFAULT_LEASE_TTL
+        try:
+            ttl = float(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{LEASE_TTL_ENV_VAR} must be a number of seconds, got {raw!r}"
+            ) from None
+    if ttl <= 0:
+        raise ValidationError(f"lease ttl must be positive, got {ttl}")
+    return ttl
+
+
+def resolve_speculate_quantile(explicit: Optional[float] = None) -> Optional[float]:
+    """Straggler quantile in (0, 1), or ``None`` when speculation is off."""
+    if explicit is not None:
+        raw = str(explicit)
+    else:
+        raw = os.environ.get(SPECULATE_ENV_VAR, "").strip()
+        if not raw:
+            return DEFAULT_SPECULATE_QUANTILE
+    if raw.lower() in ("0", "0.0", "off", "none", "disabled"):
+        return None
+    try:
+        quantile = float(raw)
+    except ValueError:
+        raise ValidationError(
+            f"{SPECULATE_ENV_VAR} must be a quantile in (0, 1) or 'off', got {raw!r}"
+        ) from None
+    if not 0.0 < quantile < 1.0:
+        raise ValidationError(f"speculate quantile must be in (0, 1), got {quantile}")
+    return quantile
+
+
+# ---------------------------------------------------------------------------
+# Local worker processes
+# ---------------------------------------------------------------------------
+
+
+class LocalWorker:
+    """Handle on one locally spawned ``repro-worker`` subprocess."""
+
+    def __init__(self, process: subprocess.Popen, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        """Stop the worker process (terminate, then kill)."""
+        if self.process.poll() is None:
+            with contextlib.suppress(OSError):
+                self.process.terminate()
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                with contextlib.suppress(OSError):
+                    self.process.kill()
+                self.process.wait()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalWorker(pid={self.process.pid}, port={self.port})"
+
+
+def _worker_env() -> dict:
+    """Child environment with the ``repro`` package importable.
+
+    Spawned workers inherit everything else — including ``REPRO_FAULTS``,
+    which is what lets fault plans cross the process boundary into
+    freshly spawned (not just forked) workers.
+    """
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.dirname(src_dir)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+    return env
+
+
+def _read_port_line(process: subprocess.Popen, timeout: float) -> int:
+    """Parse the ``repro-worker listening on host:port`` banner."""
+    deadline = time.monotonic() + timeout
+    stdout = process.stdout
+    assert stdout is not None
+    line = b""
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise ClusterError(
+                f"worker process exited with code {process.returncode} before "
+                "announcing its port"
+            )
+        ready, _, _ = select.select([stdout], [], [], 0.1)
+        if not ready:
+            continue
+        line = stdout.readline()
+        break
+    if not line:
+        raise ClusterError(f"worker did not announce a port within {timeout}s")
+    text = line.decode("utf-8", "replace").strip()
+    _, _, address = text.rpartition(" ")
+    _, _, port_text = address.rpartition(":")
+    try:
+        return int(port_text)
+    except ValueError:
+        raise ClusterError(f"unparseable worker banner {text!r}") from None
+
+
+def start_local_workers(
+    count: int,
+    host: str = "127.0.0.1",
+    start_timeout: float = 20.0,
+) -> list[LocalWorker]:
+    """Spawn *count* ``repro-worker`` processes on ephemeral localhost ports.
+
+    Each worker announces its bound port on stdout; this blocks until every
+    banner arrives (or tears everything down on failure).
+    """
+    check_positive_int(count, "count")
+    processes: list[subprocess.Popen] = []
+    workers: list[LocalWorker] = []
+    try:
+        # Launch all interpreters first, then collect banners: start-up cost
+        # (interpreter + imports) is paid once in parallel, not per worker.
+        for _ in range(count):
+            processes.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro.worker", "--host", host, "--port", "0"],
+                    stdout=subprocess.PIPE,
+                    env=_worker_env(),
+                )
+            )
+        for process in processes:
+            port = _read_port_line(process, start_timeout)
+            workers.append(LocalWorker(process, host, port))
+        return workers
+    except BaseException:
+        for process in processes:
+            with contextlib.suppress(OSError):
+                process.terminate()
+        for process in processes:
+            with contextlib.suppress(Exception):
+                process.wait(5.0)
+        raise
+
+
+@contextlib.contextmanager
+def local_workers(count: int, **kwargs):
+    """``with local_workers(2) as ws: ...`` — spawn and always tear down."""
+    workers = start_local_workers(count, **kwargs)
+    try:
+        yield workers
+    finally:
+        for worker in workers:
+            worker.terminate()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class _LinkFailure(Exception):
+    """Internal: this link's connection is unusable; requeue and reconnect."""
+
+    def __init__(self, reason: str, reconnect: bool = True):
+        super().__init__(reason)
+        self.reconnect = reconnect
+
+
+class _MapState:
+    """Shared bookkeeping of one ``map``: queue, leases, results, liveness.
+
+    All mutation happens under one lock. ``results`` is first-result-wins:
+    a speculative duplicate that loses the race is simply discarded, which
+    is sound because units are pure and bitwise-deterministic.
+    """
+
+    def __init__(
+        self,
+        items: list,
+        lease_ttl: float,
+        speculate_quantile: Optional[float],
+    ):
+        self.items = items
+        self.lease_ttl = lease_ttl
+        self.speculate_quantile = speculate_quantile
+        self.lock = threading.Lock()
+        self.done = threading.Event()
+        self.shutdown = threading.Event()
+        self.queue: deque[int] = deque(range(len(items)))
+        #: unit -> {link: lease start time} (speculation means >1 owner).
+        self.leases: dict[int, dict[Any, float]] = {}
+        self.results: dict[int, Any] = {}
+        self.durations: list[float] = []
+        self.failure: Optional[BaseException] = None
+        self.n_speculated = 0
+        self.n_requeued = 0
+
+    def finished(self) -> bool:
+        return self.done.is_set()
+
+    def next_unit(self, link) -> Optional[int]:
+        """Lease the next pending unit to *link* — or duplicate a straggler.
+
+        Speculation needs a latency profile (>= 3 completed units) and only
+        ever adds a second owner to the single longest-running unit past
+        ``quantile × slack`` of the completed durations.
+        """
+        with self.lock:
+            while self.queue:
+                unit = self.queue.popleft()
+                if unit in self.results:
+                    continue
+                self.leases.setdefault(unit, {})[link] = time.monotonic()
+                return unit
+            if self.speculate_quantile is None or len(self.durations) < 3:
+                return None
+            threshold = max(
+                float(np.quantile(self.durations, self.speculate_quantile))
+                * _SPECULATE_SLACK,
+                _SPECULATE_FLOOR_S,
+            )
+            now = time.monotonic()
+            straggler: Optional[int] = None
+            longest = threshold
+            for unit, owners in self.leases.items():
+                if unit in self.results or link in owners or len(owners) > 1:
+                    continue
+                elapsed = now - min(owners.values())
+                if elapsed > longest:
+                    straggler, longest = unit, elapsed
+            if straggler is not None:
+                self.leases[straggler][link] = now
+                self.n_speculated += 1
+            return straggler
+
+    def complete(self, unit: int, value, link) -> None:
+        """Record one unit's result (first result wins) and drop its lease."""
+        with self.lock:
+            owners = self.leases.pop(unit, {})
+            if unit not in self.results:
+                self.results[unit] = value
+                started = owners.get(link)
+                if started is not None:
+                    self.durations.append(time.monotonic() - started)
+            if len(self.results) == len(self.items):
+                self.done.set()
+
+    def release(self, link) -> None:
+        """Return *link*'s leased, still-unfinished units to the queue.
+
+        Only this link's leases move — a healthy worker's in-flight units
+        are untouched, which is the "its units and only its units" half of
+        the lease contract.
+        """
+        with self.lock:
+            for unit in list(self.leases):
+                owners = self.leases[unit]
+                if link not in owners:
+                    continue
+                del owners[link]
+                if not owners:
+                    del self.leases[unit]
+                    if unit not in self.results:
+                        self.queue.appendleft(unit)
+                        self.n_requeued += 1
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a non-recoverable unit failure; the map re-raises it."""
+        with self.lock:
+            if self.failure is None:
+                self.failure = exc
+            self.done.set()
+
+    def missing_units(self) -> list[int]:
+        with self.lock:
+            return [i for i in range(len(self.items)) if i not in self.results]
+
+
+class _WorkerLink(threading.Thread):
+    """One coordinator thread driving one worker connection.
+
+    Owns the socket, the lease clock for its in-flight unit, and the
+    reconnect/backoff loop. A link that cannot be revived declares itself
+    dead; the map-level quorum check decides what that means.
+    """
+
+    #: Receive-tick granularity while waiting on a worker (seconds).
+    TICK = 0.2
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        call: Callable,
+        state: _MapState,
+        policy: RetryPolicy,
+        index: int,
+    ):
+        super().__init__(daemon=True, name=f"cluster-link-{index}")
+        self.address = address
+        self.call = call
+        self.state = state
+        self.policy = policy
+        self.index = index
+        self.sock: Optional[socket.socket] = None
+        self.last_seen = 0.0
+        self.dead = False
+        self.death_reason: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            if not self._connect_with_backoff(first=True):
+                self._die(f"cannot connect to {self.address[0]}:{self.address[1]}")
+                return
+            while not self.state.finished() and not self.state.shutdown.is_set():
+                unit = self.state.next_unit(self)
+                if unit is None:
+                    if not self._idle_tick():
+                        return
+                    continue
+                try:
+                    try:
+                        send_message(
+                            self.sock,
+                            {"type": "task", "unit": unit, "item": self.state.items[unit]},
+                            probes=True,
+                        )
+                    except (ConnectionError, ClusterError, OSError) as exc:
+                        raise _LinkFailure(f"dispatch failed: {exc}") from exc
+                    self._await_result(unit)
+                except _LinkFailure as failure:
+                    self.state.release(self)
+                    if self.state.finished() or self.state.shutdown.is_set():
+                        return  # teardown race, not a worker death
+                    if not failure.reconnect or not self._revive(failure):
+                        self._die(str(failure))
+                        return
+            self._farewell()
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            self.state.release(self)
+            self._die(f"unexpected link failure: {exc!r}")
+
+    def alive(self) -> bool:
+        return not self.dead
+
+    def _die(self, reason: str) -> None:
+        self.dead = True
+        self.death_reason = reason
+        self.state.release(self)
+        self._close()
+
+    def _close(self) -> None:
+        if self.sock is not None:
+            with contextlib.suppress(OSError):
+                self.sock.close()
+            self.sock = None
+
+    def close(self) -> None:
+        """Main-thread teardown: closing the socket unblocks any recv."""
+        self._close()
+
+    def _farewell(self) -> None:
+        """Best-effort shutdown frame so persistent workers free the slot."""
+        if self.sock is not None:
+            with contextlib.suppress(Exception):
+                send_message(self.sock, {"type": "shutdown"})
+        self._close()
+
+    # -- connection management ---------------------------------------------
+
+    def _connect_once(self) -> None:
+        self._close()
+        sock = socket.create_connection(self.address, timeout=2.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            hello = recv_message(sock, timeout=5.0)
+        except Exception:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise
+        if hello.get("type") != "hello":
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise ClusterError(f"expected hello, got {hello.get('type')!r}")
+        heartbeat = min(max(self.state.lease_ttl / 4.0, 0.05), 2.0)
+        send_message(sock, {"type": "spec", "call": self.call, "heartbeat": heartbeat})
+        self.sock = sock
+        self.last_seen = time.monotonic()
+
+    def _connect_with_backoff(self, first: bool = False) -> bool:
+        """Bounded connection attempts through the retry policy's backoff."""
+        for attempt in range(max(1, self.policy.max_attempts)):
+            if self.state.finished() or self.state.shutdown.is_set():
+                return False
+            try:
+                self._connect_once()
+                return True
+            except (OSError, ClusterError, ConnectionError):
+                if attempt + 1 < self.policy.max_attempts:
+                    time.sleep(self.policy.delay(attempt, unit=self.index))
+        return False
+
+    def _revive(self, failure: _LinkFailure) -> bool:
+        warnings.warn(
+            f"cluster worker {self.address[0]}:{self.address[1]} link failed "
+            f"({failure}); its leased units were re-queued, reconnecting with "
+            "backoff",
+            ResilienceWarning,
+            stacklevel=2,
+        )
+        return self._connect_with_backoff()
+
+    # -- protocol ----------------------------------------------------------
+
+    def _idle_tick(self) -> bool:
+        """No work to lease: drain heartbeats, watch for shutdown/finish."""
+        try:
+            message = recv_message(self.sock, timeout=0.05, probes=True)
+        except TimeoutError:
+            return True
+        except (ConnectionError, ClusterError, OSError) as exc:
+            if self.state.finished() or self.state.shutdown.is_set():
+                return False
+            if not self._revive(_LinkFailure(f"idle connection failed: {exc}")):
+                self._die(f"idle connection failed: {exc}")
+                return False
+            return True
+        self.last_seen = time.monotonic()
+        if message.get("type") == "result":
+            self.state.complete(message["unit"], message["value"], self)
+        return True
+
+    def _await_result(self, unit: int) -> None:
+        """Block on *unit*'s result, enforcing the heartbeat lease.
+
+        Raises :class:`_LinkFailure` on connection trouble, checksum
+        rejection, heartbeat silence past the lease TTL, or an injected
+        ``lease.expire``; the caller requeues this link's units.
+        """
+        if fault_fires("lease.expire"):
+            raise _LinkFailure("injected lease expiry")
+        while True:
+            if self.state.finished() or self.state.shutdown.is_set():
+                self.state.release(self)
+                return
+            try:
+                message = recv_message(self.sock, timeout=self.TICK, probes=True)
+            except TimeoutError:
+                silence = time.monotonic() - self.last_seen
+                if silence > self.state.lease_ttl:
+                    raise _LinkFailure(
+                        f"lease expired: no heartbeat for {silence:.1f}s "
+                        f"(ttl {self.state.lease_ttl:.1f}s)"
+                    ) from None
+                continue
+            except (ConnectionError, ClusterError, OSError) as exc:
+                raise _LinkFailure(f"connection failed: {exc}") from exc
+            self.last_seen = time.monotonic()
+            kind = message.get("type")
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                self.state.complete(message["unit"], message["value"], self)
+                if message["unit"] == unit:
+                    return
+                continue
+            if kind == "error":
+                # The worker already ran the unit through the retry policy;
+                # what comes back is a final failure, surfaced to the caller
+                # exactly as a serial run would surface it.
+                self.state.release(self)
+                self.state.fail(message["exc"])
+                return
+            if kind == "reject":
+                raise _LinkFailure(
+                    f"worker rejected the dispatch: {message.get('message')}",
+                    reconnect=False,
+                )
+            raise _LinkFailure(f"unexpected message type {kind!r}")
+
+
+class ClusterBackend:
+    """Coordinator dispatching work units to ``repro-worker`` processes.
+
+    Parameters
+    ----------
+    addresses:
+        ``(host, port)`` pairs of already-running workers. ``None`` spawns
+        local workers on demand (count from *n_workers*, then
+        ``REPRO_CLUSTER_WORKERS``, then 2) and owns their lifetime.
+    n_workers:
+        Local-spawn count when *addresses* is ``None``; ignored otherwise
+        (the address list defines the worker set).
+    lease_ttl:
+        Heartbeat liveness window in seconds (``REPRO_LEASE_TTL``).
+    speculate_quantile:
+        Straggler duplication threshold in (0, 1), ``None`` to defer to
+        ``REPRO_SPECULATE_QUANTILE`` (pass ``0``/``"off"`` there to
+        disable).
+    retry_policy:
+        Shared :class:`~repro.core.resilience.RetryPolicy`: shipped to
+        workers for per-unit retries, and reused by the coordinator for
+        reconnect backoff. ``None`` resolves from the environment per map.
+    quorum:
+        Minimum live links; below it the remaining units degrade to the
+        local process ladder.
+    min_units:
+        Item counts below this run as a plain in-process serial loop
+        (bitwise-identical; none of the dispatch overhead).
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        addresses: Optional[Sequence[tuple[str, int]]] = None,
+        n_workers: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
+        speculate_quantile: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        quorum: int = 1,
+        min_units: int = 2,
+    ):
+        self.addresses = (
+            [(str(host), int(port)) for host, port in addresses]
+            if addresses is not None
+            else None
+        )
+        if self.addresses is not None and not self.addresses:
+            raise ValidationError("cluster backend needs at least one address")
+        self.n_workers = (
+            check_positive_int(n_workers, "n_workers") if n_workers is not None else None
+        )
+        self.lease_ttl = lease_ttl
+        self.speculate_quantile = speculate_quantile
+        self.retry_policy = retry_policy
+        self.quorum = check_positive_int(quorum, "quorum")
+        self.min_units = check_positive_int(min_units, "min_units")
+        #: Observability of the most recent map (speculation/requeue/degrade
+        #: counters) — read by tests and the cluster bench.
+        self.last_map_stats: dict = {}
+        self._local: list[LocalWorker] = []
+        self._finalizer: Optional[weakref.finalize] = None
+
+    @classmethod
+    def from_spec(cls, spec: str, n_workers: Optional[int] = None) -> "ClusterBackend":
+        """Build a backend from a ``cluster[:N|:host:port,...]`` spec."""
+        addresses, count = parse_cluster_spec(spec)
+        return cls(addresses=addresses, n_workers=count or n_workers)
+
+    # -- local worker lifetime ---------------------------------------------
+
+    def _spawn_count(self) -> int:
+        if self.n_workers is not None:
+            return self.n_workers
+        raw = os.environ.get(CLUSTER_WORKERS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                return max(1, int(raw))
+            except ValueError:
+                raise ValidationError(
+                    f"{CLUSTER_WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        return _DEFAULT_LOCAL_WORKERS
+
+    def _worker_addresses(self) -> list[tuple[str, int]]:
+        if self.addresses is not None:
+            return self.addresses
+        self._local = [worker for worker in self._local if worker.alive()]
+        if not self._local:
+            self._local = start_local_workers(self._spawn_count())
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self, _terminate_workers, list(self._local)
+            )
+        return [worker.address for worker in self._local]
+
+    def close(self) -> None:
+        """Terminate any locally spawned workers."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        for worker in self._local:
+            worker.terminate()
+        self._local = []
+
+    # -- execution ----------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Evaluate items across the worker set, preserving order.
+
+        Dispatch is pull-based (one unit in flight per worker), leases
+        re-dispatch a dead worker's units, stragglers are speculated, and
+        anything left when the worker set drops below quorum finishes on
+        the local process ladder — always converging on the serial payload.
+        """
+        policy = resolve_retry_policy(self.retry_policy)
+        call = resilient(fn, policy, guard_timeout=True)
+        items = list(items)
+        if len(items) < max(2, self.min_units):
+            return [call(item) for item in items]
+
+        try:
+            addresses = self._worker_addresses()
+        except ClusterError as exc:
+            return self._degrade_all(fn, items, f"cannot start local workers: {exc}")
+
+        state = _MapState(
+            items,
+            lease_ttl=resolve_lease_ttl(self.lease_ttl),
+            speculate_quantile=resolve_speculate_quantile(self.speculate_quantile),
+        )
+        links = [
+            _WorkerLink(address, call, state, policy, index)
+            for index, address in enumerate(addresses)
+        ]
+        for link in links:
+            link.start()
+        try:
+            while not state.done.wait(0.05):
+                if sum(1 for link in links if link.alive()) < self.quorum:
+                    break
+        finally:
+            state.shutdown.set()
+            state.done.set()
+            for link in links:
+                link.close()
+            for link in links:
+                link.join(timeout=5.0)
+
+        self.last_map_stats = {
+            "n_units": len(items),
+            "n_workers": len(links),
+            "n_dead_links": sum(1 for link in links if not link.alive()),
+            "n_speculated": state.n_speculated,
+            "n_requeued": state.n_requeued,
+            "n_degraded_units": 0,
+        }
+        if state.failure is not None:
+            raise state.failure
+        missing = state.missing_units()
+        if missing:
+            reasons = sorted(
+                {link.death_reason for link in links if link.death_reason}
+            )
+            self.last_map_stats["n_degraded_units"] = len(missing)
+            values = self._degrade_remaining(fn, [items[i] for i in missing], reasons)
+            for unit, value in zip(missing, values):
+                state.results[unit] = value
+        return [state.results[i] for i in range(len(items))]
+
+    def _degrade_remaining(self, fn, remaining: list, reasons: list) -> list:
+        """Quorum lost: finish *remaining* on the local process ladder."""
+        detail = f" ({'; '.join(reasons)})" if reasons else ""
+        event = (
+            f"cluster backend degraded {len(remaining)} unit(s) to local "
+            f"execution: worker set fell below quorum={self.quorum}{detail}"
+        )
+        warnings.warn(
+            event + " — results are unchanged (units are pure)",
+            ResilienceWarning,
+            stacklevel=3,
+        )
+        record_degradation(event)
+        from repro.core.executor import ProcessBackend
+
+        fallback = ProcessBackend(retry_policy=self.retry_policy)
+        return fallback.map(fn, remaining)
+
+    def _degrade_all(self, fn, items: list, reason: str) -> list:
+        return self._degrade_remaining(fn, items, [reason])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.addresses is not None:
+            where = ",".join(f"{host}:{port}" for host, port in self.addresses)
+        else:
+            where = f"local:{self.n_workers or '?'}"
+        return f"ClusterBackend({where})"
+
+
+def _terminate_workers(workers: list) -> None:
+    """Finalizer body (module-level so the weakref holds no self cycle)."""
+    for worker in workers:
+        with contextlib.suppress(Exception):
+            worker.terminate()

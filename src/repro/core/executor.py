@@ -9,6 +9,11 @@ stream. This module owns the machinery that fans those units out:
   (numpy binning, scipy's HiGHS solve) release the GIL.
 * :class:`ProcessBackend` — a chunked process pool for CPU-bound scaling
   across cores; work functions and items must pickle.
+* :class:`~repro.core.cluster.ClusterBackend` (``"cluster"``,
+  ``"cluster:4"``, ``"cluster:host:port,..."``) — TCP dispatch to
+  ``repro-worker`` processes with leases, heartbeats, speculative
+  re-dispatch and degradation back to the local ladder; see
+  :mod:`repro.core.cluster`.
 
 All backends preserve input order and evaluate every unit exactly once, so a
 parallel run is *bitwise identical* to a serial one as long as the work
@@ -38,7 +43,12 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Protocol, TypeVar, Union, runtime_checkable
 
-from repro.core.resilience import RetryPolicy, resilient, resolve_retry_policy
+from repro.core.resilience import (
+    RetryPolicy,
+    record_degradation,
+    resilient,
+    resolve_retry_policy,
+)
 from repro.errors import ExperimentError, ResilienceWarning
 from repro.testing.faults import fault_fires
 from repro.utils.validation import check_positive_int
@@ -59,7 +69,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Names accepted by :func:`resolve_backend` and ``REPRO_BACKEND``.
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "cluster")
 
 _ENV_VAR = "REPRO_BACKEND"
 
@@ -103,9 +113,12 @@ class SerialBackend:
         """Evaluate every item in order in the calling thread.
 
         Consumes *items* lazily, so a streamed work-unit generator keeps
-        its one-unit-at-a-time memory footprint.
+        its one-unit-at-a-time memory footprint. When the policy sets a
+        ``unit_timeout``, every unit runs under the in-process watchdog —
+        a wedged unit raises a retryable
+        :class:`~repro.errors.UnitTimeoutError` instead of hanging the map.
         """
-        call = resilient(fn, self.retry_policy)
+        call = resilient(fn, self.retry_policy, guard_timeout=True)
         return [call(item) for item in items]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -141,8 +154,12 @@ class ThreadBackend:
         self.retry_policy = retry_policy
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Evaluate items through a thread pool, preserving order."""
-        call = resilient(fn, self.retry_policy)
+        """Evaluate items through a thread pool, preserving order.
+
+        Units run under the in-process ``unit_timeout`` watchdog when the
+        policy sets one (see :class:`SerialBackend`).
+        """
+        call = resilient(fn, self.retry_policy, guard_timeout=True)
         items = list(items)
         workers = min(self.n_workers, len(items))
         if workers <= 1:
@@ -296,13 +313,17 @@ class ProcessBackend:
             except _PoolFailure as failure:
                 deaths += 1
                 if deaths > self.max_pool_rebuilds:
-                    warnings.warn(
+                    event = (
                         f"process pool died {deaths} times ({failure}); degrading "
                         f"{len(pending)} of {len(chunks)} chunks to the thread "
-                        "backend (results are unchanged — units are pure)",
+                        "backend"
+                    )
+                    warnings.warn(
+                        event + " (results are unchanged — units are pure)",
                         ResilienceWarning,
                         stacklevel=2,
                     )
+                    record_degradation(event)
                     self._degrade(call, chunks, results, pending)
                 else:
                     warnings.warn(
@@ -391,6 +412,7 @@ class ProcessBackend:
                 ResilienceWarning,
                 stacklevel=2,
             )
+            record_degradation("thread backend unavailable; finished the map serially")
             finished = [[call(x) for x in chunks[i]] for i in remaining]
         for index, value in zip(remaining, finished):
             results[index] = value
@@ -404,7 +426,11 @@ def parse_backend_spec(spec: str) -> tuple[str, Optional[int]]:
     """Split a ``"name"`` or ``"name:workers"`` spec into its parts.
 
     ``"process:4"`` -> ``("process", 4)``; names are case-insensitive and
-    whitespace-tolerant. Unknown names and non-positive worker counts raise
+    whitespace-tolerant. The cluster backend additionally accepts an
+    address list — ``"cluster:host:port,host:port"`` parses (and is
+    validated) to ``("cluster", None)``; :func:`resolve_backend` hands the
+    full spec to :class:`~repro.core.cluster.ClusterBackend`. Unknown names
+    and non-positive worker counts raise
     :class:`~repro.errors.ExperimentError`.
     """
     name, _, workers_part = spec.strip().lower().partition(":")
@@ -415,8 +441,14 @@ def parse_backend_spec(spec: str) -> tuple[str, Optional[int]]:
         )
     workers: Optional[int] = None
     if workers_part:
+        workers_part = workers_part.strip()
+        if name == "cluster" and not workers_part.isdigit():
+            from repro.core.cluster import parse_cluster_spec
+
+            parse_cluster_spec(spec)  # address-list validation
+            return name, None
         try:
-            workers = int(workers_part.strip())
+            workers = int(workers_part)
         except ValueError:
             raise ExperimentError(f"invalid worker count in backend spec {spec!r}")
         if workers < 1:
@@ -457,4 +489,8 @@ def resolve_backend(
         return SerialBackend()
     if name == "thread":
         return ThreadBackend(n_workers=workers)
+    if name == "cluster":
+        from repro.core.cluster import ClusterBackend
+
+        return ClusterBackend.from_spec(chosen, n_workers=workers)
     return ProcessBackend(n_workers=workers)

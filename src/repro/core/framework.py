@@ -32,6 +32,7 @@ from repro.cleaning.base import CleaningContext, CleaningStrategy
 from repro.core.distortion import _pooled_analysis, statistical_distortion_batch
 from repro.core.evaluation import StrategyOutcome, StrategySummary, summarize_outcomes
 from repro.core.executor import ExecutionBackend, parse_backend_spec, resolve_backend
+from repro.core.resilience import drain_degradations
 from repro.core.glitch_index import (
     GlitchWeights,
     series_glitch_scores,
@@ -148,10 +149,31 @@ class ExperimentConfig:
 
 @dataclass
 class ExperimentResult:
-    """All outcomes of one experiment run."""
+    """All outcomes of one experiment run.
+
+    ``degradations`` is execution provenance, not an outcome: the backend
+    ladder steps (process→thread→serial, cluster→local) the run survived,
+    drained from :func:`~repro.core.resilience.drain_degradations`. A run
+    that silently fell back to a slower backend is thereby visible in
+    saved outcomes — the outcome floats themselves are unchanged by any
+    ladder step (units are pure).
+    """
 
     config: ExperimentConfig
     outcomes: list[StrategyOutcome] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)
+
+    def __getattr__(self, name: str):
+        # Results unpickled from catalogs written before degradation
+        # provenance existed lack the attribute; treat them as clean runs.
+        if name == "degradations":
+            return []
+        raise AttributeError(name)
+
+    @property
+    def n_degraded(self) -> int:
+        """Number of backend ladder steps this run survived."""
+        return len(self.degradations)
 
     @property
     def strategies(self) -> list[str]:
@@ -468,6 +490,7 @@ def run_pair_stream(
         partial(_evaluate_work_unit, spec), zip(pairs, strategy_seeds)
     )
     result = ExperimentResult(config=config)
+    result.degradations.extend(drain_degradations())
     for batch in batches:
         result.outcomes.extend(batch)
     return result
@@ -580,6 +603,10 @@ def run_pair_panels_stream(
         )
         for k in range(len(panels))
     ]
+    # Ladder steps of the shared pass belong to every panel it evaluated.
+    events = drain_degradations()
+    for result in results:
+        result.degradations.extend(events)
     for batch in batches:
         for k, outcomes in enumerate(batch):
             results[k].outcomes.extend(outcomes)

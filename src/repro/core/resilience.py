@@ -12,25 +12,42 @@ bitwise-identical to a clean run.
 * exponential backoff capped at ``max_delay`` with *seeded* jitter — the
   jitter stream is keyed on ``(jitter_seed, unit, attempt)``, so two runs
   of the same plan sleep identically (no wall-clock entropy),
-* ``unit_timeout`` — per-unit watchdog seconds used by the process backend
-  to declare a wedged pool dead (``REPRO_UNIT_TIMEOUT``; unset/0 disables).
+* ``unit_timeout`` — per-unit watchdog seconds. The process backend uses it
+  to declare a wedged pool dead; the serial, thread and cluster backends
+  apply it *in-process* (``guard_timeout=True``) so a single wedged unit
+  raises :class:`~repro.errors.UnitTimeoutError` — retryable like any other
+  transient — instead of hanging the map (``REPRO_UNIT_TIMEOUT``;
+  unset/0 disables).
 
 :func:`resilient` wraps a work-unit callable in a picklable retrying
 proxy; :func:`is_retryable` encodes which failures are worth retrying
 (transient injected faults and unexpected runtime errors — not validation
 or shape errors, which are deterministic and would fail identically again).
+
+:func:`record_degradation` / :func:`drain_degradations` are the provenance
+channel for ladder steps: when a backend falls back (process→thread→serial,
+cluster→local), the event is recorded here as well as warned, and the
+framework attaches the drained events to the run's
+:class:`~repro.core.framework.ExperimentResult` so a silently degraded run
+is visible in saved outcomes.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
 import numpy as np
 
-from repro.errors import FaultInjectedError, ReproError, ValidationError
+from repro.errors import (
+    FaultInjectedError,
+    ReproError,
+    UnitTimeoutError,
+    ValidationError,
+)
 
 __all__ = [
     "RETRIES_ENV_VAR",
@@ -40,6 +57,8 @@ __all__ = [
     "is_retryable",
     "Resilient",
     "resilient",
+    "record_degradation",
+    "drain_degradations",
 ]
 
 RETRIES_ENV_VAR = "REPRO_RETRIES"
@@ -52,12 +71,14 @@ def is_retryable(exc: BaseException) -> bool:
     """Whether retrying the same pure unit could plausibly succeed.
 
     Injected faults are transient by construction (the registry counts
-    hits).  Library errors other than that are deterministic — a
+    hits), and so is a unit-timeout watchdog trip — a wedged unit is an
+    environmental accident, not a property of the unit.  Library errors
+    other than those are deterministic — a
     ``ValidationError`` or ``DataShapeError`` fails the same way every
     time — as is ``MemoryError``.  Anything else (I/O hiccups, pool
     plumbing, OS-level transients) is worth another attempt.
     """
-    if isinstance(exc, FaultInjectedError):
+    if isinstance(exc, (FaultInjectedError, UnitTimeoutError)):
         return True
     if isinstance(exc, (ReproError, MemoryError)):
         return False
@@ -149,34 +170,120 @@ def resolve_retry_policy(
     return RetryPolicy(**kwargs)
 
 
+class _TimeoutGuard:
+    """Picklable per-unit watchdog: run ``fn`` in a daemon thread, give up
+    after ``seconds``.
+
+    The timed-out thread is abandoned (Python cannot kill it), which is
+    safe here because work units are pure — an orphaned computation cannot
+    corrupt shared state, and its eventual result is simply discarded. The
+    caller sees :class:`~repro.errors.UnitTimeoutError`, which
+    :func:`is_retryable` treats as transient.
+    """
+
+    def __init__(self, fn: Callable[..., Any], seconds: float):
+        self.fn = fn
+        self.seconds = float(seconds)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        box: dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                box["value"] = self.fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(self.seconds)
+        if thread.is_alive():
+            raise UnitTimeoutError(
+                f"work unit exceeded unit_timeout={self.seconds}s; "
+                "abandoning the wedged attempt (pure units are safe to re-run)"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_TimeoutGuard({self.fn!r}, seconds={self.seconds})"
+
+
 class Resilient:
     """Picklable retrying proxy around a work-unit callable.
 
     A plain class (not a closure) so process backends can ship it to
     workers; equality/hash delegate to the wrapped pieces so backends that
-    key on the map function keep working.
+    key on the map function keep working. With ``guard_timeout`` set and a
+    policy ``unit_timeout``, every attempt runs under a per-unit
+    :class:`_TimeoutGuard` watchdog.
     """
 
-    def __init__(self, fn: Callable[..., Any], policy: RetryPolicy):
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        policy: RetryPolicy,
+        guard_timeout: bool = False,
+    ):
         self.fn = fn
         self.policy = policy
+        self.guard_timeout = bool(guard_timeout)
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
-        return self.policy.call(self.fn, *args, **kwargs)
+        fn = self.fn
+        if self.guard_timeout and self.policy.unit_timeout:
+            fn = _TimeoutGuard(fn, self.policy.unit_timeout)
+        return self.policy.call(fn, *args, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Resilient({self.fn!r}, attempts={self.policy.max_attempts})"
 
 
 def resilient(
-    fn: Callable[..., Any], policy: Optional[RetryPolicy] = None
+    fn: Callable[..., Any],
+    policy: Optional[RetryPolicy] = None,
+    guard_timeout: bool = False,
 ) -> Callable[..., Any]:
     """Wrap ``fn`` per ``policy`` (env-resolved when ``None``).
 
-    Returns ``fn`` unchanged when retries are disabled so the no-fault
-    fast path adds zero call overhead.
+    Returns ``fn`` unchanged when the wrapper would be a no-op (retries
+    disabled and no in-process timeout to enforce) so the no-fault fast
+    path adds zero call overhead. ``guard_timeout`` opts in to the
+    per-attempt :class:`_TimeoutGuard` — used by the serial, thread and
+    cluster paths; the process backend keeps its pool-level watchdog
+    instead (a guard thread inside a pool worker could not terminate a
+    wedged C extension either, while terminating the pool can).
     """
     resolved = resolve_retry_policy(policy)
-    if resolved.max_attempts <= 1:
+    guard = bool(guard_timeout and resolved.unit_timeout)
+    if resolved.max_attempts <= 1 and not guard:
         return fn
-    return Resilient(fn, resolved)
+    return Resilient(fn, resolved, guard_timeout=guard)
+
+
+# ---------------------------------------------------------------------------
+# Degradation provenance
+# ---------------------------------------------------------------------------
+
+# Process-wide, thread-safe ledger of backend ladder steps. Backends append
+# via record_degradation() at the moment they fall back; the framework
+# drains the ledger after each map and attaches the events to the run's
+# ExperimentResult, so provenance survives into saved outcomes instead of
+# evaporating with the warning stream.
+_degradations: list[str] = []
+_degradations_lock = threading.Lock()
+
+
+def record_degradation(event: str) -> None:
+    """Record one backend ladder step (also warned by the caller)."""
+    with _degradations_lock:
+        _degradations.append(str(event))
+
+
+def drain_degradations() -> list[str]:
+    """Return and clear every degradation recorded since the last drain."""
+    with _degradations_lock:
+        events = list(_degradations)
+        _degradations.clear()
+    return events

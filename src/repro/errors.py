@@ -19,6 +19,8 @@ __all__ = [
     "SamplingError",
     "ExperimentError",
     "StoreError",
+    "ClusterError",
+    "UnitTimeoutError",
     "FaultInjectedError",
     "ReproWarning",
     "StoreWarning",
@@ -69,6 +71,25 @@ class ExperimentError(ReproError):
 class StoreError(ReproError):
     """A persistent-store artifact (shard file, catalog) is malformed,
     truncated, or does not match the recipe that claims it."""
+
+
+class ClusterError(ReproError):
+    """A cluster protocol message was torn, corrupt, or out of contract.
+
+    Raised by the framing layer when a frame fails its checksum or magic
+    check, and by the coordinator when a worker breaks protocol. Always
+    scoped to one connection: the coordinator re-dispatches the affected
+    units elsewhere rather than aborting the map.
+    """
+
+
+class UnitTimeoutError(ReproError):
+    """A work unit exceeded the policy's ``unit_timeout`` watchdog.
+
+    Deliberately *retryable* (unlike other :class:`ReproError` subclasses —
+    see :func:`~repro.core.resilience.is_retryable`): a wedged unit is an
+    environmental transient, and re-running a pure unit is always safe.
+    """
 
 
 class FaultInjectedError(ReproError):

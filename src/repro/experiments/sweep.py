@@ -337,7 +337,9 @@ class SweepResult:
     counters say how much work the plan actually avoided
     (``n_hits``/``n_recomputed``/``n_builds``/``n_groups``) and how much of
     it was lost to failures (``n_failed`` — see :meth:`failed`; the
-    completed frontier is always kept).
+    completed frontier is always kept). ``source_cells`` retains the
+    original :class:`SweepCell` objects by name so :meth:`retry_failed`
+    can re-plan exactly the failed frontier.
     """
 
     cells: list[CellResult] = field(default_factory=list)
@@ -348,6 +350,7 @@ class SweepResult:
     n_builds: int = 0
     n_groups: int = 0
     n_failed: int = 0
+    source_cells: dict = field(default_factory=dict, repr=False)
 
     # -- mapping facade ---------------------------------------------------------
 
@@ -405,6 +408,70 @@ class SweepResult:
             for c in self.cells
             if c.source == "failed"
         }
+
+    def degradations(self) -> dict[str, list[str]]:
+        """``{cell name -> backend ladder steps}`` of every degraded cell.
+
+        Aggregated from each cell result's
+        :attr:`~repro.core.framework.ExperimentResult.degradations` — runs
+        that fell back (process→thread→serial, cluster→local) are visible
+        here instead of only in the warning stream.
+        """
+        events: dict[str, list[str]] = {}
+        for c in self.cells:
+            if c.result is not None and getattr(c.result, "degradations", []):
+                events[c.name] = list(c.result.degradations)
+        return events
+
+    @property
+    def n_degraded(self) -> int:
+        """Total backend ladder steps survived across all cells."""
+        return sum(len(steps) for steps in self.degradations().values())
+
+    def retry_failed(self, catalog=None, backend=None, incremental=None) -> "SweepResult":
+        """Re-plan and re-run exactly the :meth:`failed` cells.
+
+        Closes the loop the planner opened by never caching failures: the
+        failed frontier is re-planned through :func:`run_sweep` (so a
+        now-healthy environment serves or recomputes it normally) and the
+        retried cells are merged over this result's. Completed cells are
+        carried over untouched — never re-evaluated. Returns a new
+        :class:`SweepResult`; with nothing failed, returns ``self``.
+        """
+        failed_names = list(self.failed())
+        if not failed_names:
+            return self
+        missing = [name for name in failed_names if name not in self.source_cells]
+        if missing:
+            raise ExperimentError(
+                f"cannot retry cells {missing!r}: their SweepCell definitions "
+                "were not retained (result predates retry support?)"
+            )
+        retry = run_sweep(
+            [self.source_cells[name] for name in failed_names],
+            catalog=catalog,
+            backend=backend,
+            incremental=incremental,
+        )
+        retried = {c.name: c for c in retry.cells}
+        merged = SweepResult(
+            diff=self.diff,
+            n_builds=self.n_builds + retry.n_builds,
+            n_groups=self.n_groups + retry.n_groups,
+            source_cells=dict(self.source_cells),
+        )
+        for c in self.cells:
+            cell = retried[c.name] if c.source == "failed" else c
+            merged.cells.append(cell)
+            if cell.source == "catalog":
+                merged.n_hits += 1
+            elif cell.source == "failed":
+                merged.n_failed += 1
+            else:
+                merged.n_recomputed += 1
+                if cell.source == "uncacheable":
+                    merged.n_uncacheable += 1
+        return merged
 
     def served(self) -> list[str]:
         """Names of cells served from the catalog."""
@@ -608,7 +675,12 @@ def run_sweep(
             to_compute, plan.keys, cat, backend
         )
 
-        result = SweepResult(diff=diff, n_builds=n_builds, n_groups=n_groups)
+        result = SweepResult(
+            diff=diff,
+            n_builds=n_builds,
+            n_groups=n_groups,
+            source_cells={c.name: c for c in plan.cells},
+        )
         for cell in plan.cells:
             key = plan.keys[cell.name]
             if cell.name in served:

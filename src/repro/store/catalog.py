@@ -56,6 +56,7 @@ from repro.testing.faults import inject_fault
 
 __all__ = [
     "CATALOG_ENV_VAR",
+    "CATALOG_BUDGET_ENV_VAR",
     "CODE_SALT_ENV_VAR",
     "CODE_VERSION",
     "Catalog",
@@ -68,6 +69,12 @@ __all__ = [
 
 #: Environment variable naming a catalog file every driver should reuse.
 CATALOG_ENV_VAR = "REPRO_CATALOG"
+
+#: Payload budget in bytes applied at every catalog open: when set, stored
+#: outcome payloads over budget are pruned oldest-first (populations,
+#: shards and sweep manifests are tiny and always survive). Empty or
+#: unset disables; negative or non-integer values raise.
+CATALOG_BUDGET_ENV_VAR = "REPRO_CATALOG_BUDGET"
 
 #: Environment variable overriding the code-version salt (any non-empty
 #: value); bumping it invalidates every cached outcome without code changes.
@@ -333,6 +340,16 @@ class Catalog:
                 ) from exc2
         except sqlite3.Error as exc:
             raise StoreError(f"cannot open catalog {self.path}: {exc}") from exc
+        budget = _resolve_budget()
+        if budget is not None:
+            removed = self.prune(budget)
+            if removed:
+                warnings.warn(
+                    f"catalog {self.path} exceeded {CATALOG_BUDGET_ENV_VAR}="
+                    f"{budget} bytes; pruned {removed} oldest outcome row(s)",
+                    StoreWarning,
+                    stacklevel=2,
+                )
 
     def _open(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path, timeout=self.busy_timeout_ms / 1000.0)
@@ -597,6 +614,28 @@ class Catalog:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Catalog({self.path!r})"
+
+
+def _resolve_budget() -> Optional[int]:
+    """The ``REPRO_CATALOG_BUDGET`` byte budget, or ``None`` when unset.
+
+    A malformed value raises :class:`~repro.errors.ValidationError` — a
+    budget knob that silently failed to apply would defeat its purpose.
+    """
+    raw = os.environ.get(CATALOG_BUDGET_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValidationError(
+            f"{CATALOG_BUDGET_ENV_VAR} must be an integer byte count, got {raw!r}"
+        ) from None
+    if budget < 0:
+        raise ValidationError(
+            f"{CATALOG_BUDGET_ENV_VAR} must be non-negative, got {budget}"
+        )
+    return budget
 
 
 def resolve_catalog(

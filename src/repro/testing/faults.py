@@ -32,6 +32,13 @@ Known sites (see the modules that probe them):
 ``slab.enospc``           ``OSError(ENOSPC)`` at the start of a shard write
 ``catalog.locked``        ``sqlite3.OperationalError: database is locked``
 ``catalog.corrupt``       ``sqlite3.DatabaseError`` while opening the catalog
+``conn.drop``             coordinator-side: close the worker socket mid-send
+``conn.corrupt``          coordinator-side: flip a payload byte before the
+                          checksum check (the real rejection path fires)
+``worker.lost``           worker-side: hard ``os._exit`` on receiving a task
+``worker.slow``           worker-side: sleep before computing (a straggler)
+``lease.expire``          coordinator-side: treat a live worker's lease as
+                          expired (its units are re-dispatched)
 ========================  =====================================================
 """
 
@@ -62,7 +69,19 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: Sites the library actually probes; unknown sites in a plan are rejected
 #: early so a typo does not silently disable a fault test.
 KNOWN_SITES = frozenset(
-    ["unit", "worker", "slab.torn", "slab.enospc", "catalog.locked", "catalog.corrupt"]
+    [
+        "unit",
+        "worker",
+        "slab.torn",
+        "slab.enospc",
+        "catalog.locked",
+        "catalog.corrupt",
+        "conn.drop",
+        "conn.corrupt",
+        "worker.lost",
+        "worker.slow",
+        "lease.expire",
+    ]
 )
 
 

@@ -1,0 +1,205 @@
+"""``repro-worker`` — the remote execution endpoint of the cluster backend.
+
+Run with ``python -m repro.worker [--host H] [--port P]``. The worker binds
+a TCP socket (``--port 0`` picks an ephemeral port), announces
+``repro-worker listening on host:port`` on stdout (the cluster backend's
+local spawner parses that banner), and serves coordinator connections —
+each in its own thread, so several sequential or concurrent maps can share
+one worker.
+
+Per connection the protocol is: worker sends ``hello``; the coordinator
+sends a ``spec`` carrying the (already retry-wrapped) work callable and a
+heartbeat interval; then ``task`` frames are answered with ``result`` or
+``error`` frames while a background thread heartbeats liveness — including
+*during* a long unit, which is what lets the coordinator tell a slow worker
+from a dead one. A message that fails to unpickle (e.g. the coordinator
+shipped a callable whose module this worker cannot import) is answered
+with a ``reject`` frame — the framing layer has already consumed the full
+payload, so the stream stays in sync and the coordinator can fail the link
+fast instead of guessing.
+
+Fault sites probed here (plans arrive via the inherited ``REPRO_FAULTS``
+environment variable — per-process counters, exactly like pool workers):
+``worker.lost`` hard-exits on receiving a task (an OOM-killed node);
+``worker.slow`` sleeps before computing (a straggler, the speculation
+target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.core.cluster import ClusterError, recv_message, send_message
+from repro.errors import ReproError
+from repro.testing.faults import fault_fires
+
+__all__ = ["serve", "main"]
+
+#: ``worker.slow`` straggler sleep — comfortably past the speculation
+#: floor at test scale, comfortably under any sane lease TTL.
+SLOW_SLEEP_S = 0.75
+
+
+def _shippable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives a pickle round-trip, else a
+    :class:`ClusterError` carrying its provenance string."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ClusterError(f"{type(exc).__name__}: {exc}")
+
+
+def _heartbeat_loop(
+    send: Callable[[dict], None], interval: float, stop: threading.Event
+) -> None:
+    while not stop.wait(interval):
+        try:
+            send({"type": "heartbeat"})
+        except Exception:
+            return
+
+
+def _serve_connection(sock: socket.socket) -> None:
+    """Drive one coordinator connection to completion."""
+    with contextlib.suppress(OSError):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    stop = threading.Event()
+    send_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        with send_lock:
+            send_message(sock, message)
+
+    call: Optional[Callable] = None
+    heartbeat: Optional[threading.Thread] = None
+    try:
+        send({"type": "hello", "pid": os.getpid()})
+        while True:
+            try:
+                message = recv_message(sock)
+            except ClusterError as exc:
+                if getattr(exc, "in_sync", False):
+                    # Corrupt/undecodable frame whose payload was fully
+                    # consumed: the stream is still framed correctly, so
+                    # tell the coordinator instead of silently dying.
+                    send({"type": "reject", "message": str(exc)})
+                    continue
+                return  # torn frame: the stream is unrecoverable
+            kind = message.get("type")
+            if kind == "spec":
+                call = message["call"]
+                interval = float(message.get("heartbeat", 2.0))
+                if heartbeat is None:
+                    heartbeat = threading.Thread(
+                        target=_heartbeat_loop,
+                        args=(send, interval, stop),
+                        daemon=True,
+                    )
+                    heartbeat.start()
+            elif kind == "task":
+                if fault_fires("worker.lost"):
+                    os._exit(17)
+                if fault_fires("worker.slow"):
+                    time.sleep(SLOW_SLEEP_S)
+                unit = message["unit"]
+                if call is None:
+                    send(
+                        {
+                            "type": "reject",
+                            "message": "task received before a spec",
+                        }
+                    )
+                    continue
+                try:
+                    value = call(message["item"])
+                except Exception as exc:
+                    from repro.core.resilience import is_retryable
+
+                    send(
+                        {
+                            "type": "error",
+                            "unit": unit,
+                            "exc": _shippable(exc),
+                            "retryable": is_retryable(exc),
+                        }
+                    )
+                else:
+                    send({"type": "result", "unit": unit, "value": value})
+            elif kind == "shutdown":
+                return
+            else:
+                send({"type": "reject", "message": f"unknown message {kind!r}"})
+    except (ConnectionError, OSError):
+        return  # coordinator went away; the accept loop lives on
+    finally:
+        stop.set()
+        with contextlib.suppress(OSError):
+            sock.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_connections: Optional[int] = None,
+) -> None:
+    """Bind, announce ``repro-worker listening on host:port``, accept forever.
+
+    Each connection is served in its own daemon thread. *max_connections*
+    bounds the number of connections accepted (for tests); ``None`` serves
+    until the process is terminated.
+    """
+    server = socket.create_server((host, port))
+    bound_port = server.getsockname()[1]
+    print(f"repro-worker listening on {host}:{bound_port}", flush=True)
+    accepted = 0
+    threads: list[threading.Thread] = []
+    try:
+        while max_connections is None or accepted < max_connections:
+            conn, _ = server.accept()
+            accepted += 1
+            thread = threading.Thread(
+                target=_serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+    finally:
+        with contextlib.suppress(OSError):
+            server.close()
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Remote execution endpoint for the repro cluster backend.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="serve this many connections, then exit (default: forever)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        serve(args.host, args.port, max_connections=args.max_connections)
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    except ReproError as exc:  # pragma: no cover - startup misconfiguration
+        raise SystemExit(str(exc))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,498 @@
+"""Cluster backend suite: framing, leases, speculation, degradation.
+
+Every recovery path — dropped/corrupt connections, expired leases, killed
+and straggling workers, a worker set below quorum — must complete with a
+payload **bitwise-identical** to the serial reference. Localhost workers
+are spawned per module (clean environment) or per test (fault plans in the
+inherited environment).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cleaning.registry import strategy_by_name
+from repro.core.cluster import (
+    ClusterBackend,
+    LocalWorker,
+    local_workers,
+    parse_cluster_spec,
+    recv_message,
+    resolve_lease_ttl,
+    resolve_speculate_quantile,
+    send_message,
+    start_local_workers,
+)
+from repro.core.executor import BACKEND_NAMES, parse_backend_spec, resolve_backend
+from repro.core.framework import ExperimentConfig, ExperimentRunner
+from repro.core.resilience import RetryPolicy
+from repro.errors import (
+    ClusterError,
+    ExperimentError,
+    FaultInjectedError,
+    ResilienceWarning,
+    ValidationError,
+)
+from repro.testing.faults import FaultPlan, install_plan
+
+STRATEGIES = [strategy_by_name("strategy1"), strategy_by_name("strategy4")]
+
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _with_tests_on_path() -> str:
+    """``PYTHONPATH`` value letting spawned workers import this module.
+
+    Worker-side execution unpickles map functions by reference; the ones
+    defined here live in ``test_cluster``, which is importable in the
+    pytest process but not in a fresh worker unless ``tests/`` is on its
+    path.
+    """
+    existing = os.environ.get("PYTHONPATH", "")
+    if _TESTS_DIR in existing.split(os.pathsep):
+        return existing
+    return _TESTS_DIR + os.pathsep + existing if existing else _TESTS_DIR
+
+
+@pytest.fixture(autouse=True)
+def _worker_import_path(monkeypatch):
+    """Per-test spawned workers can import this test module."""
+    monkeypatch.setenv("PYTHONPATH", _with_tests_on_path())
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """No ambient plan or cluster knobs leak into (or out of) any test."""
+    for var in (
+        "REPRO_FAULTS",
+        "REPRO_RETRIES",
+        "REPRO_UNIT_TIMEOUT",
+        "REPRO_BACKEND",
+        "REPRO_CLUSTER_WORKERS",
+        "REPRO_LEASE_TTL",
+        "REPRO_SPECULATE_QUANTILE",
+    ):
+        monkeypatch.delenv(var, raising=False)
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+@pytest.fixture(scope="module")
+def workers():
+    """Two clean localhost workers shared by this module's identity tests.
+
+    Module-scoped fixtures are set up before function-scoped ones, so the
+    import-path env is applied by hand here.
+    """
+    saved = os.environ.get("PYTHONPATH")
+    os.environ["PYTHONPATH"] = _with_tests_on_path()
+    try:
+        spawned = start_local_workers(2)
+    finally:
+        if saved is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = saved
+    yield spawned
+    for worker in spawned:
+        worker.terminate()
+
+
+def _key(o):
+    return (
+        o.strategy,
+        o.replication,
+        o.improvement,
+        o.distortion,
+        o.glitch_index_dirty,
+        o.glitch_index_treated,
+        o.cost_fraction,
+        tuple(sorted((g.name, v) for g, v in o.dirty_fractions.items())),
+        tuple(sorted((g.name, v) for g, v in o.treated_fractions.items())),
+    )
+
+
+def _keys(result):
+    return [_key(o) for o in result.outcomes]
+
+
+def _square(x):
+    return x * x
+
+
+def _busy_square(x):
+    """~30 ms of wall per unit — enough to build a latency profile."""
+    deadline = time.perf_counter() + 0.03
+    while time.perf_counter() < deadline:
+        pass
+    return x * x
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def _pair(self):
+        server, client = socket.socketpair()
+        server.settimeout(5.0)
+        client.settimeout(5.0)
+        return server, client
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        try:
+            send_message(a, {"type": "task", "unit": 3, "item": [1, 2, 3]})
+            message = recv_message(b)
+            assert message == {"type": "task", "unit": 3, "item": [1, 2, 3]}
+        finally:
+            a.close()
+            b.close()
+
+    def test_corrupt_payload_rejected(self):
+        import pickle
+        import struct
+        import zlib
+
+        from repro.core.cluster import _HEADER, MAGIC
+
+        a, b = self._pair()
+        try:
+            payload = pickle.dumps({"type": "heartbeat"})
+            frame = bytearray(
+                MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            )
+            frame[-1] ^= 0xFF  # flip one payload byte
+            a.sendall(bytes(frame))
+            with pytest.raises(ClusterError, match="checksum"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_torn_frame_rejected(self):
+        import pickle
+        import zlib
+
+        from repro.core.cluster import _HEADER, MAGIC
+
+        a, b = self._pair()
+        try:
+            payload = pickle.dumps({"type": "heartbeat"})
+            frame = MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            a.sendall(frame[: len(frame) - 4])  # truncate mid-payload
+            a.close()
+            with pytest.raises(ClusterError, match="torn"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"JUNK" + b"\x00" * 8)
+            with pytest.raises(ClusterError, match="magic"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_closed_connection_is_connection_error(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionError):
+                recv_message(b)
+        finally:
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and knobs
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParsing:
+    def test_cluster_is_a_backend_name(self):
+        assert "cluster" in BACKEND_NAMES
+        assert parse_backend_spec("cluster") == ("cluster", None)
+        assert parse_backend_spec("cluster:3") == ("cluster", 3)
+        assert parse_backend_spec(" CLUSTER : 4 ") == ("cluster", 4)
+
+    def test_address_list_spec(self):
+        addresses, count = parse_cluster_spec("cluster:127.0.0.1:7001,localhost:7002")
+        assert addresses == [("127.0.0.1", 7001), ("localhost", 7002)]
+        assert count is None
+        assert parse_backend_spec("cluster:127.0.0.1:7001") == ("cluster", None)
+
+    def test_bare_and_count_specs(self):
+        assert parse_cluster_spec("cluster") == (None, None)
+        assert parse_cluster_spec("cluster:4") == (None, 4)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["cluster:host", "cluster:host:notaport", "cluster:host:0", "cluster:0"],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ExperimentError):
+            parse_backend_spec(spec)
+
+    def test_resolve_backend_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "cluster:127.0.0.1:7001")
+        backend = resolve_backend("serial")
+        assert isinstance(backend, ClusterBackend)
+        assert backend.addresses == [("127.0.0.1", 7001)]
+
+    def test_resolve_backend_count(self):
+        backend = resolve_backend("cluster:3")
+        assert isinstance(backend, ClusterBackend)
+        assert backend.addresses is None and backend.n_workers == 3
+
+    def test_lease_ttl_knob(self, monkeypatch):
+        assert resolve_lease_ttl() == 10.0
+        monkeypatch.setenv("REPRO_LEASE_TTL", "2.5")
+        assert resolve_lease_ttl() == 2.5
+        assert resolve_lease_ttl(1.0) == 1.0
+        monkeypatch.setenv("REPRO_LEASE_TTL", "nope")
+        with pytest.raises(ValidationError):
+            resolve_lease_ttl()
+        with pytest.raises(ValidationError):
+            resolve_lease_ttl(-1.0)
+
+    def test_speculate_knob(self, monkeypatch):
+        assert resolve_speculate_quantile() == 0.9
+        monkeypatch.setenv("REPRO_SPECULATE_QUANTILE", "0.5")
+        assert resolve_speculate_quantile() == 0.5
+        monkeypatch.setenv("REPRO_SPECULATE_QUANTILE", "off")
+        assert resolve_speculate_quantile() is None
+        assert resolve_speculate_quantile(0) is None
+        monkeypatch.setenv("REPRO_SPECULATE_QUANTILE", "1.5")
+        with pytest.raises(ValidationError):
+            resolve_speculate_quantile()
+
+
+# ---------------------------------------------------------------------------
+# Plain maps
+# ---------------------------------------------------------------------------
+
+
+class TestClusterMap:
+    def test_map_matches_serial_and_preserves_order(self, workers):
+        backend = ClusterBackend(addresses=[w.address for w in workers])
+        assert backend.map(_square, range(40)) == [x * x for x in range(40)]
+        assert backend.last_map_stats["n_workers"] == 2
+        assert backend.last_map_stats["n_degraded_units"] == 0
+
+    def test_sequential_maps_reuse_workers(self, workers):
+        backend = ClusterBackend(addresses=[w.address for w in workers])
+        for _ in range(3):
+            assert backend.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_small_maps_run_serially_without_connecting(self):
+        # Port 1 is never listening: a connection attempt would fail loudly.
+        backend = ClusterBackend(addresses=[("127.0.0.1", 1)], min_units=4)
+        assert backend.map(_square, [7]) == [49]
+        assert backend.map(_square, []) == []
+
+    def test_worker_error_propagates(self, workers, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "1")
+        backend = ClusterBackend(addresses=[w.address for w in workers])
+        with pytest.raises(ValidationError):
+            backend.map(_raise_validation, range(8))
+
+
+def _raise_validation(x):
+    from repro.errors import ValidationError
+
+    raise ValidationError(f"deterministic failure on {x}")
+
+
+# ---------------------------------------------------------------------------
+# Experiment identity
+# ---------------------------------------------------------------------------
+
+
+class TestExperimentIdentity:
+    def test_cluster_matches_serial_bitwise(self, workers, tiny_bundle):
+        config = ExperimentConfig(n_replications=6, sample_size=20, seed=11)
+        serial = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=config
+        ).run(STRATEGIES)
+        backend = ClusterBackend(addresses=[w.address for w in workers], min_units=1)
+        clustered = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=config, backend=backend
+        ).run(STRATEGIES)
+        assert _keys(clustered) == _keys(serial)
+        assert clustered.n_degraded == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault matrix — every recovery path is bitwise-identical to serial
+# ---------------------------------------------------------------------------
+
+
+class TestClusterFaultMatrix:
+    @pytest.fixture()
+    def reference(self, tiny_bundle):
+        config = ExperimentConfig(n_replications=6, sample_size=20, seed=11)
+        result = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=config
+        ).run(STRATEGIES)
+        return config, _keys(result)
+
+    @pytest.mark.parametrize(
+        "plan", ["conn.drop:2", "conn.corrupt:1", "lease.expire:1"]
+    )
+    def test_coordinator_faults_recover_identically(
+        self, workers, tiny_bundle, reference, plan
+    ):
+        config, expected = reference
+        install_plan(FaultPlan.parse(plan))
+        backend = ClusterBackend(addresses=[w.address for w in workers], min_units=1)
+        with pytest.warns(ResilienceWarning):
+            result = ExperimentRunner(
+                tiny_bundle.dirty, tiny_bundle.ideal, config=config, backend=backend
+            ).run(STRATEGIES)
+        assert _keys(result) == expected
+        assert backend.last_map_stats["n_requeued"] >= 1
+
+    def test_worker_lost_recovers_identically(
+        self, tiny_bundle, reference, monkeypatch
+    ):
+        """Spawned (not forked) workers inherit ``REPRO_FAULTS`` and die on
+        their first task; the map degrades below quorum and still matches."""
+        config, expected = reference
+        monkeypatch.setenv("REPRO_FAULTS", "worker.lost:1")
+        with local_workers(2) as spawned:
+            backend = ClusterBackend(
+                addresses=[w.address for w in spawned], min_units=1
+            )
+            monkeypatch.delenv("REPRO_FAULTS")  # coordinator side stays clean
+            with pytest.warns(ResilienceWarning):
+                result = ExperimentRunner(
+                    tiny_bundle.dirty, tiny_bundle.ideal, config=config, backend=backend
+                ).run(STRATEGIES)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and any(w.alive() for w in spawned):
+                time.sleep(0.05)
+            # Positive proof the plan crossed the spawn boundary: both
+            # workers consumed their injected kill.
+            assert not any(w.alive() for w in spawned)
+        assert _keys(result) == expected
+        assert result.n_degraded >= 1
+        assert any("quorum" in event for event in result.degradations)
+
+    def test_worker_slow_triggers_speculation(self, monkeypatch):
+        """A straggling worker's unit is speculatively duplicated on the
+        idle fast worker and resolved first-result-wins."""
+        monkeypatch.setenv("REPRO_FAULTS", "worker.slow:5")
+        slow = start_local_workers(1)
+        monkeypatch.delenv("REPRO_FAULTS")
+        fast = start_local_workers(1)
+        try:
+            backend = ClusterBackend(
+                addresses=[slow[0].address, fast[0].address],
+                speculate_quantile=0.8,
+            )
+            out = backend.map(_busy_square, range(24))
+            assert out == [x * x for x in range(24)]
+            assert backend.last_map_stats["n_speculated"] >= 1
+            assert backend.last_map_stats["n_degraded_units"] == 0
+        finally:
+            for worker in slow + fast:
+                worker.terminate()
+
+    def test_kill_one_worker_mid_run_redispatches_only_its_units(self):
+        """Terminating one of two workers mid-map re-dispatches its leased
+        units to the survivor; the map completes without degradation."""
+        with local_workers(2) as spawned:
+            backend = ClusterBackend(
+                addresses=[w.address for w in spawned],
+                retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+            )
+            killer = threading.Timer(0.4, spawned[0].terminate)
+            killer.start()
+            try:
+                with pytest.warns(ResilienceWarning):
+                    out = backend.map(_busy_square, range(60))
+            finally:
+                killer.cancel()
+            assert out == [x * x for x in range(60)]
+            assert backend.last_map_stats["n_dead_links"] == 1
+            assert backend.last_map_stats["n_requeued"] >= 1
+            assert backend.last_map_stats["n_degraded_units"] == 0
+
+    def test_quorum_loss_degrades_to_local_identically(self, monkeypatch):
+        """No worker ever connects: the whole map falls back to the local
+        process ladder, bitwise-identically, and records the step."""
+        monkeypatch.setenv("REPRO_RETRIES", "2")
+        backend = ClusterBackend(
+            addresses=[("127.0.0.1", 1)],
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+        )
+        with pytest.warns(ResilienceWarning, match="quorum"):
+            out = backend.map(_square, range(20))
+        assert out == [x * x for x in range(20)]
+        assert backend.last_map_stats["n_degraded_units"] == 20
+
+    def test_injected_unit_fault_retries_inside_worker(self, monkeypatch):
+        """A ``unit`` fault plan shipped via the environment is consumed by
+        the worker-side retry wrapper, not surfaced to the coordinator."""
+        # With retries disabled the injected failure must propagate —
+        # proving the unit actually ran remotely under the inherited plan...
+        monkeypatch.setenv("REPRO_FAULTS", "unit:1000")
+        with local_workers(1) as planned:
+            monkeypatch.delenv("REPRO_FAULTS")
+            with pytest.raises(FaultInjectedError):
+                ClusterBackend(
+                    addresses=[planned[0].address],
+                    retry_policy=RetryPolicy(max_attempts=1),
+                ).map(_probed_unit, range(8))
+        # ...and with retries enabled the same plan is absorbed remotely.
+        monkeypatch.setenv("REPRO_FAULTS", "unit:1")
+        with local_workers(1) as planned:
+            monkeypatch.delenv("REPRO_FAULTS")
+            backend = ClusterBackend(
+                addresses=[planned[0].address],
+                retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+            )
+            assert backend.map(_probed_unit, range(8)) == [x * x for x in range(8)]
+
+
+def _probed_unit(x):
+    from repro.testing.faults import inject_fault
+
+    inject_fault("unit")
+    return x * x
+
+
+# ---------------------------------------------------------------------------
+# Worker entrypoint
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerEntrypoint:
+    def test_banner_announces_bound_port(self):
+        with local_workers(1) as spawned:
+            worker = spawned[0]
+            assert isinstance(worker, LocalWorker)
+            assert worker.alive()
+            assert 1 <= worker.port <= 65535
+            # The announced port really is listening.
+            with socket.create_connection(worker.address, timeout=5.0) as sock:
+                hello = recv_message(sock, timeout=5.0)
+                assert hello["type"] == "hello"
+                assert hello["pid"] == worker.process.pid
+
+    def test_terminate_is_idempotent(self):
+        spawned = start_local_workers(1)
+        spawned[0].terminate()
+        spawned[0].terminate()
+        assert not spawned[0].alive()

@@ -39,6 +39,7 @@ from repro.errors import (
     ResilienceWarning,
     StoreError,
     StoreWarning,
+    UnitTimeoutError,
     ValidationError,
 )
 from repro.experiments.sweep import SweepCell, run_sweep
@@ -291,6 +292,67 @@ class TestWorkerDeathRecovery:
         assert _keys(runner.run(STRATEGIES)) == clean_reference
 
 
+class TestDegradationProvenance:
+    """Backend ladder steps land on the result as ``degradations`` /
+    ``n_degraded`` — a run that silently fell back is visible in saved
+    outcomes, not just in the warning stream."""
+
+    def test_ladder_steps_land_on_experiment_result(
+        self, tiny_bundle, matrix_cfg, clean_reference, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "worker:1")
+        backend = ProcessBackend(n_workers=2, min_units=1, max_pool_rebuilds=1)
+        runner = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=matrix_cfg, backend=backend
+        )
+        with pytest.warns(ResilienceWarning, match="degrading"):
+            result = runner.run(STRATEGIES)
+        assert _keys(result) == clean_reference
+        assert result.n_degraded >= 1
+        assert any("degrading" in event for event in result.degradations)
+
+    def test_clean_run_records_no_degradations(self, tiny_bundle, matrix_cfg):
+        runner = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=matrix_cfg
+        )
+        result = runner.run(STRATEGIES)
+        assert result.n_degraded == 0
+        assert result.degradations == []
+
+    def test_old_payloads_backfill_empty_degradations(self, tiny_bundle, matrix_cfg):
+        # Results unpickled from a pre-provenance catalog lack the
+        # attribute; the accessor backfills an empty history.
+        runner = ExperimentRunner(
+            tiny_bundle.dirty, tiny_bundle.ideal, config=matrix_cfg
+        )
+        result = runner.run(STRATEGIES)
+        result.__dict__.pop("degradations")
+        assert result.degradations == []
+        assert result.n_degraded == 0
+
+    def test_sweep_aggregates_per_cell_degradations(self, tiny_bundle, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker:1")
+        cfg = ExperimentConfig(n_replications=2, sample_size=8, seed=5)
+        cells = [
+            SweepCell(
+                name=f"cell{i}",
+                config=cfg.variant(seed=5 + i),
+                strategies=(STRATEGIES[0],),
+                bundle=tiny_bundle,
+            )
+            for i in range(2)
+        ]
+        backend = ProcessBackend(n_workers=2, min_units=1, max_pool_rebuilds=1)
+        with pytest.warns(ResilienceWarning, match="degrading"):
+            sweep = run_sweep(cells, backend=backend)
+        assert sweep.n_failed == 0
+        assert sweep.n_degraded >= 1
+        per_cell = sweep.degradations()
+        assert per_cell
+        assert all(name in sweep.keys() for name in per_cell)
+        assert all(events for events in per_cell.values())
+
+
 def _sleep_in_worker(x):
     import multiprocessing as mp
 
@@ -310,6 +372,104 @@ class TestWedgedPoolWatchdog:
         with pytest.warns(ResilienceWarning, match="wedged"):
             out = backend.map(_sleep_in_worker, range(4))
         assert out == [0, 3, 6, 9]
+
+
+# Items whose first attempt has wedged in this process; the wedging attempt
+# records itself *before* sleeping, so the retried attempt returns promptly.
+_WEDGED_ONCE: set = set()
+
+
+def _wedge_first_attempt(x):
+    if x not in _WEDGED_ONCE:
+        _WEDGED_ONCE.add(x)
+        time.sleep(60)
+    return x * 3
+
+
+IN_PROCESS_BACKENDS = [
+    lambda **kw: SerialBackend(**kw),
+    lambda **kw: ThreadBackend(n_workers=2, **kw),
+]
+
+
+class TestInProcessUnitTimeout:
+    """`unit_timeout` coverage for the serial and thread backends: a wedged
+    unit raises a retryable :class:`UnitTimeoutError` instead of hanging
+    the map (the process pool has its own watchdog, tested above)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_wedge_log(self):
+        _WEDGED_ONCE.clear()
+        yield
+        _WEDGED_ONCE.clear()
+
+    @pytest.mark.parametrize(
+        "make_backend", IN_PROCESS_BACKENDS, ids=["serial", "thread"]
+    )
+    def test_wedged_unit_raises_without_retries(self, make_backend):
+        backend = make_backend(
+            retry_policy=RetryPolicy(max_attempts=1, unit_timeout=0.1)
+        )
+        with pytest.raises(UnitTimeoutError) as excinfo:
+            backend.map(_wedge_first_attempt, range(2))
+        assert is_retryable(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "make_backend", IN_PROCESS_BACKENDS, ids=["serial", "thread"]
+    )
+    def test_timed_out_unit_is_retried_like_any_transient(self, make_backend):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, unit_timeout=0.3)
+        backend = make_backend(retry_policy=policy)
+        assert backend.map(_wedge_first_attempt, range(3)) == [0, 3, 6]
+
+    def test_env_knob_reaches_the_serial_map(self, monkeypatch):
+        monkeypatch.setenv("REPRO_UNIT_TIMEOUT", "0.3")
+        monkeypatch.setenv("REPRO_RETRIES", "2")
+        assert SerialBackend().map(_wedge_first_attempt, range(2)) == [0, 3]
+
+
+def _triple(x):
+    return x * 3
+
+
+class TestFaultPlansCrossProcessBoundaries:
+    """``REPRO_FAULTS`` is carried by the environment, so it must reach
+    workers that are *spawned* (fresh interpreter, nothing inherited but
+    env + pickles), not just forked ones."""
+
+    def test_spawned_workers_inherit_env_plan(self, monkeypatch):
+        # Positive proof: the pool can only die if the spawned worker read
+        # REPRO_FAULTS from its (inherited) environment and fired the
+        # `worker` site — a fresh interpreter shares no memory with us.
+        monkeypatch.setenv("REPRO_FAULTS", "worker:1")
+        backend = ProcessBackend(
+            n_workers=2, min_units=1, start_method="spawn", max_pool_rebuilds=1
+        )
+        with pytest.warns(ResilienceWarning, match="pool died"):
+            out = backend.map(_triple, range(6))
+        assert out == [x * 3 for x in range(6)]
+
+    def test_slab_torn_and_worker_death_in_one_streaming_run(
+        self, tmp_path, monkeypatch
+    ):
+        # Matrix cell crossing layers *and* processes at once: a torn slab
+        # spill in the coordinator plus worker death in the pool, one
+        # streaming run, payload bitwise-identical to the clean reference.
+        cfg = ExperimentConfig(n_replications=3, sample_size=10, seed=11)
+        clean = StreamingExperiment.from_scale(
+            "tiny", seed=0, config=cfg, spill_dir=os.fspath(tmp_path / "clean")
+        ).run(STRATEGIES)
+        monkeypatch.setenv("REPRO_FAULTS", "slab.torn:1,worker:1")
+        backend = ProcessBackend(n_workers=2, min_units=1, max_pool_rebuilds=1)
+        with pytest.warns(ResilienceWarning):
+            faulted = StreamingExperiment.from_scale(
+                "tiny",
+                seed=0,
+                config=cfg,
+                spill_dir=os.fspath(tmp_path / "faulted"),
+                backend=backend,
+            ).run(STRATEGIES)
+        assert _keys(faulted.result) == _keys(clean.result)
 
 
 # ---------------------------------------------------------------------------
@@ -557,6 +717,40 @@ class TestSweepFailureRecording:
         install_plan(None)
         second = run_sweep(cells, catalog=cat_path)
         assert second.n_failed == 0 and second.n_recomputed == 1
+
+    def test_retry_failed_reruns_exactly_the_failed_cells(
+        self, tiny_bundle, tmp_path
+    ):
+        cat_path = os.fspath(tmp_path / "cat.sqlite")
+        cells = _sweep_cells(tiny_bundle, n=3)
+        run_sweep([cells[0]], catalog=cat_path)  # warm exactly one cell
+        install_plan(FaultPlan.parse("unit:1000"))
+        with pytest.warns(ResilienceWarning):
+            first = run_sweep(cells, catalog=cat_path)
+        install_plan(None)
+        # The warmed cell was served (no compute, so no fault); the rest died.
+        assert first.n_hits == 1 and first.n_failed == 2
+        retried = first.retry_failed(catalog=cat_path)
+        assert retried.n_failed == 0
+        assert retried.n_recomputed == 2  # exactly the failed frontier re-ran
+        assert retried.n_hits == 1  # the completed cell carried over untouched
+        assert retried.keys() == first.keys()
+        assert _keys(retried["cell0"]) == _keys(first["cell0"])
+        assert retried["cell1"].outcomes and retried["cell2"].outcomes
+        assert retried.failed() == {}
+
+    def test_retry_failed_is_noop_when_nothing_failed(self, tiny_bundle):
+        result = run_sweep(_sweep_cells(tiny_bundle, n=1))
+        assert result.retry_failed() is result
+
+    def test_retry_failed_requires_retained_source_cells(self, tiny_bundle):
+        install_plan(FaultPlan.parse("unit:1000"))
+        with pytest.warns(ResilienceWarning):
+            result = run_sweep(_sweep_cells(tiny_bundle, n=1))
+        install_plan(None)
+        result.source_cells.clear()  # simulate a pre-retry-support result
+        with pytest.raises(ExperimentError, match="cannot retry"):
+            result.retry_failed()
 
 
 class TestSweepIdentityUnderCatalogFaults:

@@ -20,10 +20,17 @@ from repro.core.framework import ExperimentConfig
 from repro.data.generator import GeneratorConfig
 from repro.data.slab import SlabFeed, load_slab
 from repro.data.topology import NodeId
-from repro.errors import DataShapeError, ExperimentError, StoreError, ValidationError
+from repro.errors import (
+    DataShapeError,
+    ExperimentError,
+    StoreError,
+    StoreWarning,
+    ValidationError,
+)
 from repro.experiments.config import experiment_config
 from repro.experiments.paper import run_experiment, run_figure6, run_table1
 from repro.store.catalog import (
+    CATALOG_BUDGET_ENV_VAR,
     CATALOG_ENV_VAR,
     Catalog,
     experiment_key,
@@ -529,6 +536,54 @@ class TestCatalog:
             assert cat.stats()["payload_bytes"] == 0
             with pytest.raises(ValidationError):
                 cat.prune(max_bytes=-1)
+
+    def test_budget_env_prunes_at_open(self, tmp_path, tiny_bundle, monkeypatch):
+        """``REPRO_CATALOG_BUDGET`` applies :meth:`Catalog.prune` at open:
+        over-budget outcome payloads evict oldest-first, while population
+        and sweep rows (provenance, not payload) survive."""
+        path = os.fspath(tmp_path / "cat.sqlite")
+        strategies = paper_strategies()[:1]
+        configs = [
+            ExperimentConfig(n_replications=1, sample_size=6, seed=s)
+            for s in (1, 2, 3)
+        ]
+        with Catalog(path) as cat:
+            results = [
+                run_figure6(tiny_bundle, config=c, strategies=strategies,
+                            catalog=cat)
+                for c in configs
+            ]
+            full = cat.stats()["payload_bytes"]
+            n_populations = cat.stats()["populations"]
+
+        monkeypatch.setenv(CATALOG_BUDGET_ENV_VAR, str(full // 2))
+        with pytest.warns(StoreWarning, match="pruned"):
+            cat = Catalog(path)
+        with cat:
+            stats = cat.stats()
+            assert stats["payload_bytes"] <= full // 2
+            assert 1 <= stats["outcomes"] < 3
+            assert stats["populations"] == n_populations  # provenance survives
+            # Oldest-first: the newest cell is still served from cache.
+            served = run_figure6(
+                tiny_bundle, config=configs[-1], strategies=strategies,
+                catalog=cat,
+            )
+            assert _keys(served) == _keys(results[-1])
+
+        # Within budget: open is silent and nothing is evicted.
+        monkeypatch.setenv(CATALOG_BUDGET_ENV_VAR, str(full))
+        with Catalog(path) as cat:
+            assert cat.stats()["outcomes"] == stats["outcomes"]
+
+    def test_budget_env_rejects_bad_values(self, tmp_path, monkeypatch):
+        for bad in ("not-a-number", "-1", "1.5"):
+            monkeypatch.setenv(CATALOG_BUDGET_ENV_VAR, bad)
+            with pytest.raises(ValidationError):
+                Catalog(os.fspath(tmp_path / "cat.sqlite"))
+        monkeypatch.setenv(CATALOG_BUDGET_ENV_VAR, "")
+        with Catalog(os.fspath(tmp_path / "cat.sqlite")) as cat:
+            assert cat.stats()["outcomes"] == 0
 
 
 # ---------------------------------------------------------------------------
