@@ -5,7 +5,7 @@ module name ``conftest`` (with both ``tests/`` and ``benchmarks/`` on
 ``sys.path`` in a whole-repo pytest run, that name resolves to whichever
 directory was collected first).
 
-Every bench records its headline numbers into ``BENCH_PR9.json`` (override
+Every bench records its headline numbers into ``BENCH_PR10.json`` (override
 the location with ``REPRO_BENCH_JSON``) as ``name -> {wall_s, speedup,
 identity_ok}`` so the perf trajectory is machine-readable across PRs; the CI
 bench smoke prints and uploads the file on every push.
@@ -31,7 +31,7 @@ __all__ = [
 
 def bench_results_path() -> Path:
     """Where bench results accumulate (``REPRO_BENCH_JSON`` overrides)."""
-    return Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_PR9.json"))
+    return Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_PR10.json"))
 
 
 def record_bench(

@@ -19,7 +19,6 @@ from repro.distance.base import Distance
 from repro.distance.emd import EarthMoverDistance
 from repro.errors import DistanceError
 from repro.glitches.detectors import ScaleTransform
-from repro.stats.ecdf import EcdfSketch
 
 __all__ = [
     "statistical_distortion",
@@ -198,17 +197,22 @@ class StreamingDistortion:
 
     The pooled-sample form above materialises every side as an ``(N, v)``
     array; at population scale that is exactly the "store all the data" the
-    paper's stream setting rules out. This accumulator never pools anything:
+    paper's stream setting rules out. This driver never pools anything — it
+    extracts analysis-scale rows from whatever sample layout the caller
+    holds (data sets, sample blocks, raw arrays) and hands them to the
+    engine-agnostic :class:`~repro.core.incremental.DistortionFold`, which
+    owns the accumulation:
 
     1. ``observe_reference`` folds reference slabs into a tiny *sketch* —
-       running sum/sum-of-squares for the standardisation frame and exact
-       running min/max for the support bounds;
+       running sum/sum-of-squares for the standardisation frame, exact
+       running min/max for the support bounds, and (for quantile-binning
+       distances) one exact per-dimension
+       :class:`~repro.stats.ecdf.EcdfSketch` for the edge order statistics;
     2. ``freeze_grid`` fixes the accumulation mode the distance asked for
        (:meth:`~repro.distance.base.Distance.stream_mode`): **histogram**
-       distances (multivariate EMD, KL, JS) get a shared
-       :class:`~repro.distance.histogram.HistogramGrid` (uniform edges only —
-       quantile edges need the pooled sample by definition); **ECDF**
-       distances (KS, exact 1-D EMD) get per-attribute
+       distances (multivariate EMD, KL, JS — uniform *or* quantile edges)
+       get a shared :class:`~repro.distance.histogram.HistogramGrid`;
+       **ECDF** distances (KS, exact 1-D EMD) get per-attribute
        :class:`~repro.stats.ecdf.EcdfSketch` panels and need no grid;
     3. ``observe`` folds ``(reference_slab, candidate_slabs)`` pairs into
        the mergeable summaries — the single pass over the candidate data;
@@ -224,11 +228,16 @@ class StreamingDistortion:
       accumulation error), and the grid spans the *reference* support only —
       the pooled path's grid spans the union of reference and candidates,
       so candidate mass outside the reference range clips into the boundary
-      bins here. When candidates can move mass beyond the reference range
-      (imputation past the observed maximum, say), pass ``support_margin``
-      to :meth:`freeze_grid` to buy headroom; within-support streams agree
-      with the pooled path exactly up to the frame ulps — bitwise with
-      ``standardize=False``.
+      bins here. Quantile edges are placed by a bitwise replay of the
+      pooled ``np.quantile`` edge arithmetic over the streamed reference
+      (exact edge sketches by default; ``sketch_size`` trades exactness for
+      bounded memory), so they carry no extra streaming error — only the
+      same reference-support semantics. When candidates can move mass
+      beyond the reference range (imputation past the observed maximum,
+      say), pass ``support_margin`` to :meth:`freeze_grid` to buy headroom
+      (uniform edges only — quantile edges follow the reference mass);
+      within-support streams agree with the pooled path exactly up to the
+      frame ulps — bitwise with ``standardize=False``.
     * **ecdf**: exact-mode sketches (``sketch_size=None``) reproduce the
       pooled statistic bitwise for scale-free distances (KS) and for
       unstandardised 1-D EMD; a standardising 1-D EMD divides by the
@@ -245,7 +254,7 @@ class StreamingDistortion:
     distance:
         Any streaming-capable :class:`~repro.distance.base.Distance` —
         one whose :meth:`~repro.distance.base.Distance.stream_mode` is not
-        ``None``: the paper's EMD (default), uniform-binning
+        ``None``: the paper's EMD (default), quantile- or uniform-binning
         :class:`~repro.distance.kl.KLDivergence` /
         :class:`~repro.distance.kl.JensenShannonDistance`, or
         :class:`~repro.distance.ks.KolmogorovSmirnovDistance`.
@@ -253,9 +262,10 @@ class StreamingDistortion:
         Optional analysis-scale transform applied slab-wise (elementwise, so
         slab application matches whole-population application exactly).
     sketch_size:
-        ECDF-mode memory bound: ``None`` (default) keeps exact sketches —
-        O(distinct values) per attribute; an integer compacts each sketch
-        to that many weighted order statistics.
+        Sketch memory bound, for both ECDF-mode panels and quantile edge
+        sketches: ``None`` (default) keeps exact sketches — O(distinct
+        values) per attribute; an integer compacts each sketch to that many
+        weighted order statistics.
     """
 
     def __init__(
@@ -265,42 +275,27 @@ class StreamingDistortion:
         transform: Optional[ScaleTransform] = None,
         sketch_size: Optional[int] = None,
     ):
-        if n_candidates < 1:
-            raise DistanceError("need at least one candidate")
-        self.distance = distance or EarthMoverDistance()
-        binner = getattr(self.distance, "binner", None)
-        sketch_capable = callable(getattr(self.distance, "sketch_distances", None))
-        histogram_capable = binner is not None and callable(
-            getattr(self.distance, "between_histograms_batch", None)
-        )
-        if binner is not None and binner.binning != "uniform":
-            raise DistanceError(
-                "StreamingDistortion needs a histogram-based distance with "
-                "uniform binning (quantile edges need the pooled sample)"
-            )
-        if not histogram_capable and not sketch_capable:
-            raise DistanceError(
-                f"{type(self.distance).__name__} is not streaming-capable: "
-                "it exposes neither a histogram path (binner + "
-                "between_histograms_batch) nor an ECDF sketch path "
-                "(see Distance.stream_mode)"
-            )
+        from repro.core.incremental import DistortionFold
+
         self.transform = transform
-        self.n_candidates = n_candidates
-        self.sketch_size = sketch_size
-        self._mode: Optional[str] = None
-        self._dim: Optional[int] = None
-        self._count = 0
-        self._sum: Optional[np.ndarray] = None
-        self._sumsq: Optional[np.ndarray] = None
-        self._mins: Optional[np.ndarray] = None
-        self._maxs: Optional[np.ndarray] = None
-        self._shift: Optional[np.ndarray] = None
-        self._scale: Optional[np.ndarray] = None
-        self._grid = None
-        self._accumulators = None
-        self._ref_sketches: "Optional[list[EcdfSketch]]" = None
-        self._cand_sketches: "Optional[list[list[EcdfSketch]]]" = None
+        self._fold = DistortionFold(
+            n_candidates, distance=distance, sketch_size=sketch_size
+        )
+
+    @property
+    def distance(self) -> Distance:
+        """The distance the fold accumulates for."""
+        return self._fold.distance
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of treated candidates scored against the reference."""
+        return self._fold.n_candidates
+
+    @property
+    def sketch_size(self) -> Optional[int]:
+        """The sketch memory bound (``None`` = exact)."""
+        return self._fold.sketch_size
 
     # -- pass 1: the reference sketch ------------------------------------------
 
@@ -322,122 +317,47 @@ class StreamingDistortion:
 
     def observe_reference(self, sample: Sample) -> None:
         """Fold one reference slab into the frame/support sketch."""
-        if self._mode is not None:
+        if self._fold.mode is not None:
             raise DistanceError("grid already frozen; no more reference slabs")
-        rows = self._rows(sample)
-        if rows.shape[0] == 0:
-            return
-        if self._dim is None:
-            self._dim = rows.shape[1]
-            self._sum = np.zeros(self._dim)
-            self._sumsq = np.zeros(self._dim)
-            self._mins = np.full(self._dim, np.inf)
-            self._maxs = np.full(self._dim, -np.inf)
-        elif rows.shape[1] != self._dim:
-            raise DistanceError(
-                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
-            )
-        self._count += rows.shape[0]
-        self._sum += rows.sum(axis=0)
-        self._sumsq += (rows * rows).sum(axis=0)
-        self._mins = np.minimum(self._mins, rows.min(axis=0))
-        self._maxs = np.maximum(self._maxs, rows.max(axis=0))
+        self._fold.observe_reference(self._rows(sample))
 
     def freeze_grid(self, support_margin: float = 0.0) -> None:
         """Fix the accumulation mode from the reference sketch.
 
-        Histogram mode freezes the shared grid; ``support_margin`` widens
-        the standardised support symmetrically by the given fraction of its
-        width — headroom for candidates whose mass moves outside the
-        reference range (out-of-range rows otherwise clip into the boundary
-        bins, the usual sketch trade). ECDF mode needs no grid; a pure-ECDF
-        distance (no binner, e.g. KS) may even skip the reference pre-pass
-        entirely, and ``support_margin`` is irrelevant to it.
+        Histogram mode freezes the shared grid; ``support_margin`` widens a
+        *uniform* grid's standardised support symmetrically by the given
+        fraction of its width — headroom for candidates whose mass moves
+        outside the reference range (out-of-range rows otherwise clip into
+        the boundary bins, the usual sketch trade). Quantile edges follow
+        the reference mass instead and ignore the margin. ECDF mode needs
+        no grid; a pure-ECDF distance (no binner, e.g. KS) may even skip
+        the reference pre-pass entirely, and ``support_margin`` is
+        irrelevant to it.
         """
-        if self._mode is not None:
-            return
-        binner = getattr(self.distance, "binner", None)
-        if self._count == 0:
-            if binner is None:
-                # Scale-free ECDF distance: no frame/support sketch needed;
-                # the dimension is discovered on the first observed slab.
-                self._mode = "ecdf"
-                return
-            raise DistanceError("no reference rows observed")
-        if binner is None or not binner.standardize:
-            shift = np.zeros(self._dim)
-            scale = np.ones(self._dim)
-        else:
-            mean = self._sum / self._count
-            var = self._sumsq / self._count - mean * mean
-            scale = np.sqrt(np.maximum(var, 0.0))
-            scale = np.where(scale > 0, scale, 1.0)
-            shift = mean
-        self._shift, self._scale = shift, scale
-        mode = self.distance.stream_mode(self._dim)
-        if mode == "histogram":
-            mins = (self._mins - shift) / scale
-            maxs = (self._maxs - shift) / scale
-            if support_margin:
-                widths = maxs - mins
-                mins = mins - support_margin * widths
-                maxs = maxs + support_margin * widths
-            self._grid = binner.grid_from_stats(shift, scale, mins, maxs)
-            self._accumulators = [
-                self._grid.accumulator() for _ in range(self.n_candidates + 1)
-            ]
-        elif mode == "ecdf":
-            self._init_sketches(self._dim)
-        else:  # pragma: no cover - constructor already screens for this
-            raise DistanceError(
-                f"{type(self.distance).__name__} is not streaming-capable"
-            )
-        self._mode = mode
-
-    def _init_sketches(self, dim: int) -> None:
-        self._dim = dim
-        self._ref_sketches = [EcdfSketch(self.sketch_size) for _ in range(dim)]
-        self._cand_sketches = [
-            [EcdfSketch(self.sketch_size) for _ in range(dim)]
-            for _ in range(self.n_candidates)
-        ]
+        self._fold.freeze(support_margin=support_margin)
 
     @property
     def grid(self):
         """The frozen shared grid (``None`` before :meth:`freeze_grid`,
         and always ``None`` in ECDF mode)."""
-        return self._grid
+        return self._fold.grid
 
     # -- pass 2: the one pass over candidate slabs ------------------------------
 
     def observe(self, reference_slab: Sample, candidate_slabs: Sequence[Sample]) -> None:
         """Fold one aligned slab of the reference and every candidate."""
-        if self._mode is None:
-            self.freeze_grid()
+        if self._fold.mode is None:
+            self._fold.freeze()
         if len(candidate_slabs) != self.n_candidates:
             raise DistanceError(
                 f"expected {self.n_candidates} candidate slabs, "
                 f"got {len(candidate_slabs)}"
             )
-        if self._mode == "histogram":
-            self._accumulators[0].add(self._rows(reference_slab))
-            for acc, slab in zip(self._accumulators[1:], candidate_slabs):
-                acc.add(self._rows(slab))
-            return
-        rows = self._rows(reference_slab, keep_partial=True)
-        if self._ref_sketches is None:
-            self._init_sketches(rows.shape[1])
-        self._fold_sketch_rows(self._ref_sketches, rows)
-        for panel, slab in zip(self._cand_sketches, candidate_slabs):
-            self._fold_sketch_rows(panel, self._rows(slab, keep_partial=True))
-
-    def _fold_sketch_rows(self, panel: "list[EcdfSketch]", rows: np.ndarray) -> None:
-        if rows.shape[1] != self._dim:
-            raise DistanceError(
-                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
-            )
-        for j, sketch in enumerate(panel):
-            sketch.add(rows[:, j])
+        keep_partial = self._fold.mode != "histogram"
+        self._fold.observe(
+            self._rows(reference_slab, keep_partial=keep_partial),
+            [self._rows(slab, keep_partial=keep_partial) for slab in candidate_slabs],
+        )
 
     def finalize(self) -> list[float]:
         """Panel distortions from the accumulated summaries.
@@ -448,22 +368,7 @@ class StreamingDistortion:
         panels over, with the streamed frame scale for distances that
         standardise.
         """
-        if self._mode == "histogram":
-            if self._accumulators[0].total == 0:
-                raise DistanceError("no slabs observed")
-            hp = self._accumulators[0].finalize()
-            hqs = [acc.finalize() for acc in self._accumulators[1:]]
-            return [
-                float(v) for v in self.distance.between_histograms_batch(hp, hqs)
-            ]
-        if self._mode == "ecdf" and self._ref_sketches is not None:
-            return [
-                float(v)
-                for v in self.distance.sketch_distances(
-                    self._ref_sketches, self._cand_sketches, scale=self._scale
-                )
-            ]
-        raise DistanceError("no slabs observed")
+        return self._fold.finalize()
 
 
 def statistical_distortion_stream(
@@ -482,10 +387,10 @@ def statistical_distortion_stream(
     ``paired_slabs`` yields ``(reference_slab, [candidate_slab, ...])``
     tuples and is consumed exactly once — the single pass over the treated
     data. *distance* is any streaming-capable distance — EMD (default),
-    uniform-binning KL/JS, or KS. ``support_margin`` is forwarded to
-    :meth:`StreamingDistortion.freeze_grid` — headroom for candidate mass
-    outside the reference support in histogram mode; ``sketch_size`` bounds
-    ECDF-mode sketch memory. See :class:`StreamingDistortion` for the
+    KL/JS (quantile or uniform binning), or KS. ``support_margin`` is
+    forwarded to :meth:`StreamingDistortion.freeze_grid` — headroom for
+    candidate mass outside the reference support in uniform-grid histogram
+    mode; ``sketch_size`` bounds sketch memory. See :class:`StreamingDistortion` for the
     accumulation contract and the per-mode tolerance against the pooled
     path.
     """

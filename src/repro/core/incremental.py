@@ -1,0 +1,879 @@
+"""The engine-agnostic incremental scoring core.
+
+Every execution front of the experiment — the in-memory block path, the
+pull-driven streaming slab engine (:mod:`repro.core.streaming`), and the
+push-driven live monitoring service (:mod:`repro.service`) — computes the
+same per-series statistics: record-level cleanliness fractions, weighted
+glitch scores, sigma-limit fits over pooled ideal columns, and distortion
+accumulators on frozen grids or ECDF sketches. This module owns those folds
+once, engine-agnostically, so the engines reduce to *drivers* that decide
+where the windows come from (shard passes, live feeds) and what executes
+them (serial/thread/process/cluster backends) — never what the numbers are.
+
+The identity contract every fold honours: folding a series window by window
+(any window widths, any arrival order, duplicates deduplicated upstream)
+yields results **bitwise-identical** to the one-shot per-series computation,
+because
+
+* every per-record verdict (missing, inconsistent, outlier) is row-local —
+  a window's annotation is literally a slice of the full series' annotation;
+* fold state is held as exact integers (record counts, glitch-cell counts),
+  whose accumulation is associative and commutative;
+* the floats the batch path reports are *derived* from those integers by a
+  fixed expression (one division, one matmul, one sum), replayed here
+  operation for operation at read time.
+
+The distortion fold inherits the mergeable-accumulator guarantees of
+:class:`~repro.distance.histogram.HistogramAccumulator` and
+:class:`~repro.stats.ecdf.EcdfSketch`; see :class:`DistortionFold` for the
+per-mode contract against the pooled path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.data.stream import TimeSeries
+from repro.data.window import StreamWindow, cut_series_windows
+from repro.distance.base import Distance
+from repro.distance.emd import EarthMoverDistance
+from repro.errors import DistanceError, ValidationError
+from repro.glitches.constraints import ConstraintSet
+from repro.glitches.detectors import (
+    DetectorSuite,
+    ScaleTransform,
+    SigmaLimits,
+    SigmaOutlierDetector,
+)
+from repro.glitches.missing import detect_missing
+from repro.core.glitch_index import GlitchWeights
+from repro.sampling.replication import ParentGather, TestPair
+from repro.stats.descriptive import sigma_limits
+from repro.stats.ecdf import EcdfSketch
+
+__all__ = [
+    "StreamWindow",
+    "cut_series_windows",
+    "WindowDelta",
+    "WindowJournal",
+    "CleanlinessFold",
+    "GlitchFold",
+    "DistortionFold",
+    "IncrementalScorer",
+    "analysis_column",
+    "outlier_record_fraction",
+    "split_verdicts",
+    "identify_fixed_point",
+    "fit_sigma_limits",
+    "build_parent_gathers",
+    "iter_test_pairs",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared per-series arithmetic (the batch passes replay these exactly)
+# ---------------------------------------------------------------------------
+
+
+def analysis_column(
+    series: TimeSeries,
+    attr_index: int,
+    attr_name: str,
+    transform: Optional[ScaleTransform],
+) -> np.ndarray:
+    """One series' finite analysis-scale values of one attribute.
+
+    The per-series inner step of the sigma-limit fit: apply the transform
+    when it targets this attribute, then keep the finite values. Both the
+    elementwise transform and the finite filter commute with any
+    concatenation of the series' windows, so a fit pooled from these columns
+    — in series order — is bitwise-identical whether the columns came from
+    materialised series, streamed shards, or reassembled live windows.
+    """
+    col = series.values[:, attr_index]
+    if transform is not None and transform.attribute == attr_name:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            col = np.asarray(transform.forward(col), dtype=float)
+        return col[np.isfinite(col)]
+    return col[~np.isnan(col)]
+
+
+def outlier_record_fraction(series: TimeSeries, suite: DetectorSuite) -> float:
+    """Record-level outlier fraction of one series under a fitted suite.
+
+    Replays ``GlitchMatrix.record_fraction(OUTLIER)``: scale, detect,
+    any-attribute reduce, mean over records.
+    """
+    transform = suite.transform
+    detector = suite.outlier_detector
+    scaled = transform.apply(series) if transform else series
+    return float(detector.detect(scaled).any(axis=1).mean())
+
+
+def split_verdicts(verdicts: np.ndarray) -> tuple[list[int], list[int]]:
+    """``(dirty_indices, ideal_indices)`` of a cleanliness verdict vector.
+
+    Raises when either side is empty — an experiment needs both a dirty
+    population to clean and an ideal one to calibrate against.
+    """
+    dirty_idx = [int(i) for i in np.flatnonzero(~verdicts)]
+    ideal_idx = [int(i) for i in np.flatnonzero(verdicts)]
+    if not ideal_idx:
+        raise ValidationError(
+            "no series met the cleanliness requirement; loosen max_fraction"
+        )
+    if not dirty_idx:
+        raise ValidationError("every series is ideal; nothing to clean")
+    return dirty_idx, ideal_idx
+
+
+def fit_sigma_limits(
+    attributes: Sequence[str],
+    columns: Callable[[int, str], Sequence[np.ndarray]],
+    k: float,
+) -> SigmaLimits:
+    """The 3-sigma fit over pooled per-attribute ideal columns.
+
+    *columns(attr_index, attr_name)* yields the kept series' filtered
+    analysis-scale columns **in population order** — the concatenation
+    order is part of the bitwise contract (``np.mean`` accumulates
+    pairwise, so the pooled column must be assembled identically by every
+    engine). Peak memory is one attribute's pooled column.
+    """
+    limits: dict[str, tuple[float, float]] = {}
+    for j, attr in enumerate(attributes):
+        cols = list(columns(j, attr))
+        col = np.concatenate(cols or [np.empty(0)])
+        limits[attr] = sigma_limits(col, k=k)
+    return SigmaLimits(limits)
+
+
+def identify_fixed_point(
+    miss: np.ndarray,
+    inc: np.ndarray,
+    constraints: ConstraintSet,
+    transform: Optional[ScaleTransform],
+    fit_limits: Callable[[np.ndarray], SigmaLimits],
+    outlier_fractions: Callable[[DetectorSuite], np.ndarray],
+    max_fraction: float,
+    max_iter: int,
+) -> tuple[np.ndarray, DetectorSuite]:
+    """The ideal-set / outlier-limit fixed point, engine-agnostically.
+
+    Replays :func:`~repro.glitches.detectors.identify_ideal` round for
+    round — bootstrap split on the suite-independent missing/inconsistent
+    rates, then fit → re-verdict → re-split until membership is stable —
+    with the two engine-specific steps injected: *fit_limits(verdicts)*
+    fits the sigma limits on the current ideal set, *outlier_fractions
+    (suite)* computes every series' record-level outlier rate under the
+    fitted suite. The pull engine fans both over shard passes; the push
+    service reads both off its window journal. Identical callables in,
+    identical verdicts and suite out — bit for bit.
+    """
+    mf = max_fraction
+    verdicts = (miss < mf) & (inc < mf)
+    split_verdicts(verdicts)
+    previous = set(np.flatnonzero(verdicts).tolist())
+    suite = DetectorSuite(constraints=constraints, outlier_detector=None)
+    for _ in range(max_iter):
+        suite = DetectorSuite(
+            constraints=constraints,
+            outlier_detector=SigmaOutlierDetector(fit_limits(verdicts)),
+            transform=transform,
+        )
+        out = outlier_fractions(suite)
+        verdicts = (miss < mf) & (inc < mf) & (out < mf)
+        split_verdicts(verdicts)
+        current = set(np.flatnonzero(verdicts).tolist())
+        if current == previous:
+            break
+        previous = current
+    return verdicts, suite
+
+
+# ---------------------------------------------------------------------------
+# Replication-pair construction (shared by the pull engine and the service)
+# ---------------------------------------------------------------------------
+
+
+def build_parent_gathers(
+    dirty_idx: Sequence[int],
+    ideal_idx: Sequence[int],
+    entries: Dict[int, TimeSeries],
+    lengths: np.ndarray,
+) -> tuple[ParentGather, ParentGather, bool]:
+    """Both sides' :class:`ParentGather` stand-ins plus the layout decision.
+
+    *entries* maps population index → series for (at least) every series
+    the replication draws touch; *lengths* holds every series' length so
+    the uniform-layout decision matches the **population**, not the
+    gathered subset — both engines must take the same block/per-series
+    branch for the evaluation arithmetic to be shared.
+    """
+    dirty_gather = ParentGather(
+        n_total=len(dirty_idx),
+        entries={
+            pos: entries[idx]
+            for pos, idx in enumerate(dirty_idx)
+            if idx in entries
+        },
+        uniform=bool((lengths[list(dirty_idx)] == lengths[dirty_idx[0]]).all()),
+    )
+    ideal_gather = ParentGather(
+        n_total=len(ideal_idx),
+        entries={
+            pos: entries[idx]
+            for pos, idx in enumerate(ideal_idx)
+            if idx in entries
+        },
+        uniform=bool((lengths[list(ideal_idx)] == lengths[ideal_idx[0]]).all()),
+    )
+    use_block = dirty_gather.block_layout and ideal_gather.block_layout
+    return dirty_gather, ideal_gather, use_block
+
+
+def iter_test_pairs(
+    draws: Sequence[tuple[np.ndarray, np.ndarray]],
+    dirty_gather: ParentGather,
+    ideal_gather: ParentGather,
+    use_block: bool,
+) -> Iterator[TestPair]:
+    """Materialise the replication pairs of pre-drawn index streams."""
+    for i, (d_idx, i_idx) in enumerate(draws):
+        if use_block:
+            yield TestPair(
+                index=i,
+                dirty_block=dirty_gather.sample(d_idx, block=True),
+                ideal_block=ideal_gather.sample(i_idx, block=True),
+            )
+        else:
+            yield TestPair(
+                index=i,
+                dirty=dirty_gather.sample(d_idx, block=False),
+                ideal=ideal_gather.sample(i_idx, block=False),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Window journal — dedup and canonical reassembly
+# ---------------------------------------------------------------------------
+
+
+class WindowJournal:
+    """Arrival-order-invariant record of the windows a stream delivered.
+
+    Windows are keyed by ``(stream_id, seq)``; duplicates are refused at
+    :meth:`offer` (the fold layer above therefore counts every record
+    exactly once, whatever the delivery pattern), and :meth:`series`
+    reassembles a stream by concatenating its windows in ``seq`` order —
+    the exact inverse of :func:`cut_series_windows`, so the reassembled
+    series equals the source bit for bit regardless of how arrival
+    shuffled, duplicated, or batched the windows.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[int, Dict[int, StreamWindow]] = {}
+        self._attributes: Optional[tuple[str, ...]] = None
+
+    def offer(self, window: StreamWindow) -> bool:
+        """Record *window*; ``False`` (and no state change) on a duplicate."""
+        per_stream = self._streams.setdefault(window.stream_id, {})
+        if window.seq in per_stream:
+            return False
+        if self._attributes is None:
+            self._attributes = tuple(window.attributes)
+        elif tuple(window.attributes) != self._attributes:
+            raise ValidationError(
+                f"window attributes {window.attributes} do not match the "
+                f"journal's {self._attributes}"
+            )
+        per_stream[window.seq] = window
+        return True
+
+    @property
+    def attributes(self) -> Optional[tuple[str, ...]]:
+        """The attribute schema, discovered from the first window."""
+        return self._attributes
+
+    @property
+    def n_streams(self) -> int:
+        """Number of distinct streams seen so far."""
+        return len(self._streams)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of distinct ``(stream, seq)`` windows retained."""
+        return sum(len(s) for s in self._streams.values())
+
+    def stream_ids(self) -> list[int]:
+        """Stream ids seen so far, ascending."""
+        return sorted(self._streams)
+
+    def series(self, stream_id: int) -> TimeSeries:
+        """The reassembled series of one stream (its windows must be
+        gap-free from ``seq=0``)."""
+        per_stream = self._streams.get(stream_id)
+        if not per_stream:
+            raise ValidationError(f"no windows journaled for stream {stream_id}")
+        seqs = sorted(per_stream)
+        if seqs != list(range(len(seqs))):
+            missing = sorted(set(range(seqs[-1] + 1)) - set(seqs))
+            raise ValidationError(
+                f"stream {stream_id} has window gaps at seq {missing}; "
+                "cannot reassemble"
+            )
+        ordered = [per_stream[s] for s in seqs]
+        first = ordered[0]
+        values = np.concatenate([w.values for w in ordered], axis=0)
+        truth = None
+        if all(w.truth is not None for w in ordered):
+            truth = np.concatenate([w.truth for w in ordered], axis=0)
+        return TimeSeries(first.node, values, first.attributes, truth)
+
+    def assemble(self) -> list[TimeSeries]:
+        """Every stream reassembled, in population (stream-id) order.
+
+        Requires a dense id space ``0..n_streams-1`` — a population, not a
+        sparse sample of one.
+        """
+        ids = self.stream_ids()
+        if ids != list(range(len(ids))):
+            missing = sorted(set(range(ids[-1] + 1)) - set(ids))
+            raise ValidationError(
+                f"missing streams {missing}; cannot assemble the population"
+            )
+        return [self.series(i) for i in ids]
+
+
+# ---------------------------------------------------------------------------
+# The per-stream folds
+# ---------------------------------------------------------------------------
+
+
+class CleanlinessFold:
+    """Per-stream record-level glitch-rate counters.
+
+    Folds each window's row-local verdicts into exact integer counts:
+    records with any missing cell, records violating any constraint, and —
+    when a fitted *suite* is attached — records with any outlier cell. The
+    fractions read back as ``count / n_records``, which is bitwise what the
+    batch pass's ``mask.any(axis=1).mean()`` computes (a boolean mean is an
+    exact integer sum divided by the length), so fold order and window
+    widths never show in the result.
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        suite: Optional[DetectorSuite] = None,
+    ):
+        self.constraints = constraints
+        self.suite = suite
+        self._miss: Dict[int, int] = {}
+        self._inc: Dict[int, int] = {}
+        self._out: Dict[int, int] = {}
+        self._records: Dict[int, int] = {}
+
+    def fold(self, stream_id: int, window: TimeSeries) -> None:
+        """Fold one window's rows into the stream's counters."""
+        self._records[stream_id] = self._records.get(stream_id, 0) + window.length
+        self._miss[stream_id] = self._miss.get(stream_id, 0) + int(
+            detect_missing(window).any(axis=1).sum()
+        )
+        self._inc[stream_id] = self._inc.get(stream_id, 0) + int(
+            self.constraints.evaluate(window).any(axis=1).sum()
+        )
+        if self.suite is not None and self.suite.outlier_detector is not None:
+            transform = self.suite.transform
+            scaled = transform.apply(window) if transform else window
+            self._out[stream_id] = self._out.get(stream_id, 0) + int(
+                self.suite.outlier_detector.detect(scaled).any(axis=1).sum()
+            )
+
+    def n_records(self, stream_id: int) -> int:
+        """Records folded for one stream so far."""
+        return self._records.get(stream_id, 0)
+
+    def _fraction(self, counter: Dict[int, int], stream_id: int) -> float:
+        total = self._records.get(stream_id, 0)
+        if total == 0:
+            return 0.0
+        return counter.get(stream_id, 0) / total
+
+    def miss_fraction(self, stream_id: int) -> float:
+        """Fraction of the stream's records with a missing cell."""
+        return self._fraction(self._miss, stream_id)
+
+    def inc_fraction(self, stream_id: int) -> float:
+        """Fraction of the stream's records violating a constraint."""
+        return self._fraction(self._inc, stream_id)
+
+    def out_fraction(self, stream_id: int) -> float:
+        """Fraction of the stream's records with an outlier cell (needs a
+        suite with a fitted detector)."""
+        return self._fraction(self._out, stream_id)
+
+    def fraction_arrays(self, n_streams: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(miss, inc)`` fraction vectors over streams ``0..n-1``."""
+        miss = np.empty(n_streams)
+        inc = np.empty(n_streams)
+        for i in range(n_streams):
+            if self._records.get(i, 0) == 0:
+                raise ValidationError(f"stream {i} has no folded records")
+            miss[i] = self.miss_fraction(i)
+            inc[i] = self.inc_fraction(i)
+        return miss, inc
+
+
+class GlitchFold:
+    """Per-stream weighted glitch-score state under a frozen detector suite.
+
+    Folds each window's full ``(w, v, m)`` glitch annotation into exact
+    per-``(attribute, type)`` integer cell counts. :meth:`score` then
+    replays :func:`~repro.core.glitch_index.series_glitch_score` — the same
+    count-over-length division, the same weight matmul, the same sum — so a
+    stream's live score after its last window is bitwise the batch score of
+    the whole series, however the windows arrived.
+    """
+
+    def __init__(self, suite: DetectorSuite, weights: Optional[GlitchWeights] = None):
+        self.suite = suite
+        self.weights = weights or GlitchWeights()
+        self._counts: Dict[int, np.ndarray] = {}
+        self._length: Dict[int, int] = {}
+
+    def fold(self, stream_id: int, window: TimeSeries) -> None:
+        """Fold one window's glitch annotation into the stream's counts."""
+        matrix = self.suite.annotate(window)
+        counts = matrix.bits.sum(axis=0)  # (v, m) exact integers
+        if stream_id in self._counts:
+            self._counts[stream_id] += counts
+            self._length[stream_id] += matrix.length
+        else:
+            self._counts[stream_id] = counts
+            self._length[stream_id] = matrix.length
+
+    def score(self, stream_id: int) -> float:
+        """The stream's length-normalised weighted glitch score so far."""
+        length = self._length.get(stream_id, 0)
+        if length == 0:
+            return 0.0
+        per_attr_type = self._counts[stream_id] / length
+        return float((per_attr_type @ self.weights.as_array()).sum())
+
+    def n_records(self, stream_id: int) -> int:
+        """Records annotated for one stream so far."""
+        return self._length.get(stream_id, 0)
+
+
+class DistortionFold:
+    """The mergeable distortion-accumulation core, over raw row slabs.
+
+    Owns what used to live inside
+    :class:`~repro.core.distortion.StreamingDistortion` (which is now a
+    thin sample-level driver over this fold): the streamed reference
+    frame/support sketch, the accumulation-mode decision
+    (:meth:`~repro.distance.base.Distance.stream_mode`), the frozen
+    :class:`~repro.distance.histogram.HistogramGrid` with per-candidate
+    count accumulators, or the per-attribute
+    :class:`~repro.stats.ecdf.EcdfSketch` panels — all operating on
+    already-pooled ``(N, d)`` row arrays, so any engine that can produce
+    rows (slab passes, live window arrivals) can drive it.
+
+    Quantile-binning histogram distances (the default KL/JS) are
+    streaming-capable here: the reference pre-pass additionally folds one
+    exact :class:`EcdfSketch` per dimension, and :meth:`freeze` places the
+    bin edges with
+    :meth:`~repro.distance.histogram.HistogramBinner.grid_from_sketches`,
+    which replays the pooled ``np.quantile`` edge arithmetic bit for bit
+    (on the reference support — the documented streaming grid semantics).
+    ``support_margin`` only applies to uniform edges; quantile edges follow
+    the reference mass, and out-of-support candidate mass clips into the
+    boundary bins as usual.
+
+    ``finalize`` is non-destructive — reading the panel distortions mid-
+    stream and folding more slabs afterwards is the live-monitoring read
+    path.
+    """
+
+    def __init__(
+        self,
+        n_candidates: int,
+        distance: Optional[Distance] = None,
+        sketch_size: Optional[int] = None,
+    ):
+        if n_candidates < 1:
+            raise DistanceError("need at least one candidate")
+        self.distance = distance or EarthMoverDistance()
+        binner = getattr(self.distance, "binner", None)
+        sketch_capable = callable(getattr(self.distance, "sketch_distances", None))
+        histogram_capable = binner is not None and callable(
+            getattr(self.distance, "between_histograms_batch", None)
+        )
+        if not histogram_capable and not sketch_capable:
+            raise DistanceError(
+                f"{type(self.distance).__name__} is not streaming-capable: "
+                "it exposes neither a histogram path (binner + "
+                "between_histograms_batch) nor an ECDF sketch path "
+                "(see Distance.stream_mode)"
+            )
+        self.n_candidates = n_candidates
+        self.sketch_size = sketch_size
+        self._quantile_edges = bool(
+            histogram_capable and binner.binning == "quantile"
+        )
+        self._mode: Optional[str] = None
+        self._dim: Optional[int] = None
+        self._count = 0
+        self._sum: Optional[np.ndarray] = None
+        self._sumsq: Optional[np.ndarray] = None
+        self._mins: Optional[np.ndarray] = None
+        self._maxs: Optional[np.ndarray] = None
+        self._shift: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._edge_sketches: "Optional[list[EcdfSketch]]" = None
+        self._grid = None
+        self._accumulators = None
+        self._ref_sketches: "Optional[list[EcdfSketch]]" = None
+        self._cand_sketches: "Optional[list[list[EcdfSketch]]]" = None
+
+    # -- pass 1: the reference sketch --------------------------------------
+
+    @property
+    def mode(self) -> Optional[str]:
+        """The frozen accumulation mode (``None`` before :meth:`freeze`)."""
+        return self._mode
+
+    @property
+    def grid(self):
+        """The frozen shared grid (``None`` before :meth:`freeze`, and
+        always ``None`` in ECDF mode)."""
+        return self._grid
+
+    @property
+    def scale(self) -> Optional[np.ndarray]:
+        """The streamed frame scale (for standardising sketch distances)."""
+        return self._scale
+
+    def observe_reference(self, rows: np.ndarray) -> None:
+        """Fold one slab of reference rows into the frame/support sketch."""
+        if self._mode is not None:
+            raise DistanceError("grid already frozen; no more reference slabs")
+        if rows.shape[0] == 0:
+            return
+        if self._dim is None:
+            self._dim = rows.shape[1]
+            self._sum = np.zeros(self._dim)
+            self._sumsq = np.zeros(self._dim)
+            self._mins = np.full(self._dim, np.inf)
+            self._maxs = np.full(self._dim, -np.inf)
+            if self._quantile_edges:
+                self._edge_sketches = [
+                    EcdfSketch(self.sketch_size) for _ in range(self._dim)
+                ]
+        elif rows.shape[1] != self._dim:
+            raise DistanceError(
+                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
+            )
+        self._count += rows.shape[0]
+        self._sum += rows.sum(axis=0)
+        self._sumsq += (rows * rows).sum(axis=0)
+        self._mins = np.minimum(self._mins, rows.min(axis=0))
+        self._maxs = np.maximum(self._maxs, rows.max(axis=0))
+        if self._edge_sketches is not None:
+            for j, sketch in enumerate(self._edge_sketches):
+                sketch.add(rows[:, j])
+
+    def freeze(self, support_margin: float = 0.0) -> None:
+        """Fix the accumulation mode from the reference sketch."""
+        if self._mode is not None:
+            return
+        binner = getattr(self.distance, "binner", None)
+        if self._count == 0:
+            if binner is None:
+                # Scale-free ECDF distance: no frame/support sketch needed;
+                # the dimension is discovered on the first observed slab.
+                self._mode = "ecdf"
+                return
+            raise DistanceError("no reference rows observed")
+        if binner is None or not binner.standardize:
+            shift = np.zeros(self._dim)
+            scale = np.ones(self._dim)
+        else:
+            mean = self._sum / self._count
+            var = self._sumsq / self._count - mean * mean
+            scale = np.sqrt(np.maximum(var, 0.0))
+            scale = np.where(scale > 0, scale, 1.0)
+            shift = mean
+        self._shift, self._scale = shift, scale
+        mode = self.distance.stream_mode(self._dim)
+        if mode == "histogram":
+            if self._quantile_edges:
+                self._grid = binner.grid_from_sketches(
+                    shift, scale, self._edge_sketches
+                )
+            else:
+                mins = (self._mins - shift) / scale
+                maxs = (self._maxs - shift) / scale
+                if support_margin:
+                    widths = maxs - mins
+                    mins = mins - support_margin * widths
+                    maxs = maxs + support_margin * widths
+                self._grid = binner.grid_from_stats(shift, scale, mins, maxs)
+            self._accumulators = [
+                self._grid.accumulator() for _ in range(self.n_candidates + 1)
+            ]
+        elif mode == "ecdf":
+            self._init_sketches(self._dim)
+        else:  # pragma: no cover - constructor already screens for this
+            raise DistanceError(
+                f"{type(self.distance).__name__} is not streaming-capable"
+            )
+        self._mode = mode
+
+    def _init_sketches(self, dim: int) -> None:
+        self._dim = dim
+        self._ref_sketches = [EcdfSketch(self.sketch_size) for _ in range(dim)]
+        self._cand_sketches = [
+            [EcdfSketch(self.sketch_size) for _ in range(dim)]
+            for _ in range(self.n_candidates)
+        ]
+
+    # -- pass 2: the one pass over candidate slabs --------------------------
+
+    def observe(
+        self, reference_rows: np.ndarray, candidate_rows: Sequence[np.ndarray]
+    ) -> None:
+        """Fold one aligned slab of the reference and every candidate.
+
+        In histogram mode rows must be complete-case filtered by the
+        caller; in ECDF mode rows arrive whole and each attribute's sketch
+        drops its own non-finite values.
+        """
+        if self._mode is None:
+            self.freeze()
+        if len(candidate_rows) != self.n_candidates:
+            raise DistanceError(
+                f"expected {self.n_candidates} candidate slabs, "
+                f"got {len(candidate_rows)}"
+            )
+        if self._mode == "histogram":
+            self._accumulators[0].add(reference_rows)
+            for acc, rows in zip(self._accumulators[1:], candidate_rows):
+                acc.add(rows)
+            return
+        if self._ref_sketches is None:
+            self._init_sketches(reference_rows.shape[1])
+        self._fold_sketch_rows(self._ref_sketches, reference_rows)
+        for panel, rows in zip(self._cand_sketches, candidate_rows):
+            self._fold_sketch_rows(panel, rows)
+
+    def _fold_sketch_rows(self, panel: "list[EcdfSketch]", rows: np.ndarray) -> None:
+        if rows.shape[1] != self._dim:
+            raise DistanceError(
+                f"dimension mismatch: expected d={self._dim}, got {rows.shape[1]}"
+            )
+        for j, sketch in enumerate(panel):
+            sketch.add(rows[:, j])
+
+    def finalize(self) -> list[float]:
+        """Panel distortions from the accumulated summaries (repeatable —
+        accumulation may continue afterwards)."""
+        if self._mode == "histogram":
+            if self._accumulators[0].total == 0:
+                raise DistanceError("no slabs observed")
+            hp = self._accumulators[0].finalize()
+            hqs = [acc.finalize() for acc in self._accumulators[1:]]
+            return [
+                float(v) for v in self.distance.between_histograms_batch(hp, hqs)
+            ]
+        if self._mode == "ecdf" and self._ref_sketches is not None:
+            return [
+                float(v)
+                for v in self.distance.sketch_distances(
+                    self._ref_sketches, self._cand_sketches, scale=self._scale
+                )
+            ]
+        raise DistanceError("no slabs observed")
+
+
+# ---------------------------------------------------------------------------
+# The incremental scorer — per-arrival fold state over a window journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """What one window arrival changed.
+
+    ``accepted`` is ``False`` for a duplicate delivery (no state changed);
+    the fractions and scores are the stream's **live** values after this
+    arrival — derived from exact counts, so they are arrival-order
+    invariant, and once a stream is complete they equal the batch values
+    bitwise. ``glitch_score``/``out_fraction`` are ``None`` until a
+    detector suite has been frozen.
+    """
+
+    stream_id: int
+    seq: int
+    arrival: int
+    accepted: bool
+    n_records: int
+    miss_fraction: float
+    inc_fraction: float
+    out_fraction: Optional[float] = None
+    glitch_score: Optional[float] = None
+
+
+class IncrementalScorer:
+    """Engine-agnostic per-stream fold state with ``fold(window) -> delta``.
+
+    The core the push service sits on: windows arrive in any order, with
+    duplicates, from any number of interleaved streams; each accepted
+    window updates exact per-stream counters (cleanliness fractions, and —
+    once :meth:`freeze_suite` has fixed a detector suite — weighted glitch
+    scores), and the journal retains the deduplicated windows for
+    canonical reassembly into the batch engine's exact inputs. Live reads
+    are derived from the counters at ask time, so they are independent of
+    arrival order at every prefix that covers the same window set.
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintSet,
+        transform: Optional[ScaleTransform] = None,
+        weights: Optional[GlitchWeights] = None,
+    ):
+        self.constraints = constraints
+        self.transform = transform
+        self.weights = weights or GlitchWeights()
+        self.journal = WindowJournal()
+        self.cleanliness = CleanlinessFold(constraints)
+        self.suite: Optional[DetectorSuite] = None
+        self._glitch: Optional[GlitchFold] = None
+        self._outliers: Optional[CleanlinessFold] = None
+        self._arrivals = 0
+        self._duplicates = 0
+
+    @property
+    def n_arrivals(self) -> int:
+        """Total window deliveries seen (including duplicates)."""
+        return self._arrivals
+
+    @property
+    def n_duplicates(self) -> int:
+        """Deliveries refused as duplicates."""
+        return self._duplicates
+
+    def freeze_suite(self, suite: DetectorSuite) -> None:
+        """Fix the detector suite for live glitch scoring.
+
+        Windows journaled before the freeze are backfilled into the glitch
+        fold — counts are order-invariant, so freezing late equals having
+        frozen before the first arrival.
+        """
+        self.suite = suite
+        self._glitch = GlitchFold(suite, self.weights)
+        self._outliers = CleanlinessFold(self.constraints, suite=suite)
+        for stream_id in self.journal.stream_ids():
+            for seq in sorted(self.journal._streams[stream_id]):
+                window = self.journal._streams[stream_id][seq]
+                w_series = self._window_series(window)
+                self._glitch.fold(stream_id, w_series)
+                self._outliers.fold(stream_id, w_series)
+
+    @staticmethod
+    def _window_series(window: StreamWindow) -> TimeSeries:
+        return TimeSeries(
+            window.node, window.values, window.attributes, window.truth
+        )
+
+    def fold(self, window: StreamWindow) -> WindowDelta:
+        """Fold one arriving window; returns the stream's live delta."""
+        self._arrivals += 1
+        accepted = self.journal.offer(window)
+        sid = window.stream_id
+        if accepted:
+            w_series = self._window_series(window)
+            self.cleanliness.fold(sid, w_series)
+            if self._glitch is not None:
+                self._glitch.fold(sid, w_series)
+                self._outliers.fold(sid, w_series)
+        else:
+            self._duplicates += 1
+        return WindowDelta(
+            stream_id=sid,
+            seq=window.seq,
+            arrival=self._arrivals,
+            accepted=accepted,
+            n_records=self.cleanliness.n_records(sid),
+            miss_fraction=self.cleanliness.miss_fraction(sid),
+            inc_fraction=self.cleanliness.inc_fraction(sid),
+            out_fraction=(
+                self._outliers.out_fraction(sid)
+                if self._outliers is not None
+                else None
+            ),
+            glitch_score=(
+                self._glitch.score(sid) if self._glitch is not None else None
+            ),
+        )
+
+    def glitch_score(self, stream_id: int) -> Optional[float]:
+        """The stream's live glitch score (``None`` before a suite froze)."""
+        if self._glitch is None:
+            return None
+        return self._glitch.score(stream_id)
+
+    # -- identification over the journal ------------------------------------
+
+    def identify(
+        self,
+        k: float = 3.0,
+        max_fraction: float = 0.05,
+        max_iter: int = 3,
+    ) -> tuple[np.ndarray, DetectorSuite]:
+        """The ideal-set fixed point over the journaled population.
+
+        Reassembles the streams (they must be complete) and runs
+        :func:`identify_fixed_point` with journal-backed fit and verdict
+        callables — the same callables the pull engine computes over shard
+        passes, so the verdicts and fitted suite replay
+        :meth:`StreamingExperiment.identify` bit for bit. Freezes the
+        fitted suite for live scoring as a side effect.
+        """
+        series = self.journal.assemble()
+        attributes = series[0].attributes
+        n = len(series)
+        miss, inc = self.cleanliness.fraction_arrays(n)
+
+        def fit_limits(verdicts: np.ndarray) -> SigmaLimits:
+            def columns(j: int, attr: str) -> list[np.ndarray]:
+                return [
+                    analysis_column(s, j, attr, self.transform)
+                    for s, keep in zip(series, verdicts)
+                    if keep
+                ]
+
+            return fit_sigma_limits(attributes, columns, k)
+
+        def outlier_fractions(suite: DetectorSuite) -> np.ndarray:
+            return np.array(
+                [outlier_record_fraction(s, suite) for s in series]
+            )
+
+        verdicts, suite = identify_fixed_point(
+            miss,
+            inc,
+            self.constraints,
+            self.transform,
+            fit_limits,
+            outlier_fractions,
+            max_fraction,
+            max_iter,
+        )
+        self.freeze_suite(suite)
+        return verdicts, suite

@@ -52,22 +52,21 @@ from repro.data.slab import SlabFeed, SlabSource, load_slab
 from repro.data.stream import TimeSeries
 from repro.distance.base import Distance
 from repro.errors import ValidationError
-from repro.glitches.constraints import ConstraintSet, paper_constraints
-from repro.glitches.detectors import (
-    DetectorSuite,
-    ScaleTransform,
-    SigmaLimits,
-    SigmaOutlierDetector,
+from repro.core.incremental import (
+    analysis_column,
+    build_parent_gathers,
+    fit_sigma_limits,
+    identify_fixed_point,
+    iter_test_pairs,
+    outlier_record_fraction,
+    split_verdicts,
 )
+from repro.glitches.constraints import ConstraintSet, paper_constraints
+from repro.glitches.detectors import DetectorSuite, ScaleTransform, SigmaLimits
 from repro.glitches.missing import detect_missing
 from repro.sampling.bottom_k import BottomKSketch, indexed_ranks, union_sketches
 from repro.sampling.priority import PrioritySample, priority_sample_indexed
-from repro.sampling.replication import (
-    ParentGather,
-    TestPair,
-    replication_index_streams,
-)
-from repro.stats.descriptive import sigma_limits
+from repro.sampling.replication import replication_index_streams
 from repro.testing.faults import inject_fault
 from repro.utils.rng import Seed, as_generator, snapshot_seed, spawn_sequences
 from repro.utils.validation import check_fraction
@@ -137,13 +136,7 @@ class _OutlierSpec:
 def _outlier_slab(spec: _OutlierSpec, source: SlabSource) -> np.ndarray:
     inject_fault("unit")
     series = load_slab(source)
-    out = np.empty(len(series))
-    transform = spec.suite.transform
-    detector = spec.suite.outlier_detector
-    for i, s in enumerate(series):
-        scaled = transform.apply(s) if transform else s
-        out[i] = float(detector.detect(scaled).any(axis=1).mean())
-    return out
+    return np.array([outlier_record_fraction(s, spec.suite) for s in series])
 
 
 @dataclass(frozen=True)
@@ -168,18 +161,11 @@ def _column_slab(
     inject_fault("unit")
     source, keep = unit
     series = load_slab(source)
-    cols: list[np.ndarray] = []
-    for s, keep_one in zip(series, keep):
-        if not keep_one:
-            continue
-        col = s.values[:, spec.attr_index]
-        if spec.transform is not None and spec.transform.attribute == spec.attr_name:
-            with np.errstate(invalid="ignore", divide="ignore"):
-                col = np.asarray(spec.transform.forward(col), dtype=float)
-            cols.append(col[np.isfinite(col)])
-        else:
-            cols.append(col[~np.isnan(col)])
-    return cols
+    return [
+        analysis_column(s, spec.attr_index, spec.attr_name, spec.transform)
+        for s, keep_one in zip(series, keep)
+        if keep_one
+    ]
 
 
 @dataclass(frozen=True)
@@ -414,31 +400,20 @@ class StreamingExperiment:
         so the limits are bitwise-identical to
         ``SigmaLimits.from_dataset(scaled_ideal, k=k)``.
         """
-        limits: dict[str, tuple[float, float]] = {}
-        for j, attr in enumerate(self.attributes):
+        def columns(j: int, attr: str) -> list[np.ndarray]:
             spec = _ColumnSpec(
                 transform=self.transform, attr_index=j, attr_name=attr
             )
             chunks = self._map(
                 partial(_column_slab, spec), self._shard_units(verdicts)
             )
-            col = np.concatenate(
-                [c for chunk in chunks for c in chunk] or [np.empty(0)]
-            )
-            limits[attr] = sigma_limits(col, k=self.k)
-        return SigmaLimits(limits)
+            return [c for chunk in chunks for c in chunk]
+
+        return fit_sigma_limits(self.attributes, columns, self.k)
 
     @staticmethod
     def _split(verdicts: np.ndarray) -> tuple[list[int], list[int]]:
-        dirty_idx = [int(i) for i in np.flatnonzero(~verdicts)]
-        ideal_idx = [int(i) for i in np.flatnonzero(verdicts)]
-        if not ideal_idx:
-            raise ValidationError(
-                "no series met the cleanliness requirement; loosen max_fraction"
-            )
-        if not dirty_idx:
-            raise ValidationError("every series is ideal; nothing to clean")
-        return dirty_idx, ideal_idx
+        return split_verdicts(verdicts)
 
     def identify(self) -> tuple[np.ndarray, DetectorSuite]:
         """Stream the ideal-set / outlier-limit fixed point.
@@ -473,24 +448,18 @@ class StreamingExperiment:
         profile = self._map(partial(_profile_slab, _ProfileSpec(self.constraints)))
         miss = np.concatenate([m for m, _ in profile])
         inc = np.concatenate([i for _, i in profile])
-        mf = self.max_fraction
-        verdicts = (miss < mf) & (inc < mf)
-        self._split(verdicts)
-        previous = set(np.flatnonzero(verdicts).tolist())
-        suite = DetectorSuite(constraints=self.constraints, outlier_detector=None)
-        for _ in range(self.max_iter):
-            suite = DetectorSuite(
-                constraints=self.constraints,
-                outlier_detector=SigmaOutlierDetector(self._fit_limits(verdicts)),
-                transform=self.transform,
-            )
-            out = np.concatenate(self._map(partial(_outlier_slab, _OutlierSpec(suite))))
-            verdicts = (miss < mf) & (inc < mf) & (out < mf)
-            self._split(verdicts)
-            current = set(np.flatnonzero(verdicts).tolist())
-            if current == previous:
-                break
-            previous = current
+        verdicts, suite = identify_fixed_point(
+            miss,
+            inc,
+            self.constraints,
+            self.transform,
+            fit_limits=self._fit_limits,
+            outlier_fractions=lambda suite: np.concatenate(
+                self._map(partial(_outlier_slab, _OutlierSpec(suite)))
+            ),
+            max_fraction=self.max_fraction,
+            max_iter=self.max_iter,
+        )
         self._identified = (verdicts, suite)
         return verdicts, suite
 
@@ -565,44 +534,12 @@ class StreamingExperiment:
                     dirty_idx, [s for _, s in chunks]
                 )
 
-            lengths = self.feed.lengths
-            dirty_gather = ParentGather(
-                n_total=len(dirty_idx),
-                entries={
-                    pos: entries[idx] for pos, idx in enumerate(dirty_idx) if idx in entries
-                },
-                uniform=bool(
-                    (lengths[dirty_idx] == lengths[dirty_idx[0]]).all()
-                ),
+            dirty_gather, ideal_gather, use_block = build_parent_gathers(
+                dirty_idx, ideal_idx, entries, self.feed.lengths
             )
-            ideal_gather = ParentGather(
-                n_total=len(ideal_idx),
-                entries={
-                    pos: entries[idx] for pos, idx in enumerate(ideal_idx) if idx in entries
-                },
-                uniform=bool(
-                    (lengths[ideal_idx] == lengths[ideal_idx[0]]).all()
-                ),
-            )
-            use_block = dirty_gather.block_layout and ideal_gather.block_layout
-
-            def pairs():
-                for i, (d_idx, i_idx) in enumerate(draws):
-                    if use_block:
-                        yield TestPair(
-                            index=i,
-                            dirty_block=dirty_gather.sample(d_idx, block=True),
-                            ideal_block=ideal_gather.sample(i_idx, block=True),
-                        )
-                    else:
-                        yield TestPair(
-                            index=i,
-                            dirty=dirty_gather.sample(d_idx, block=False),
-                            ideal=ideal_gather.sample(i_idx, block=False),
-                        )
 
             result = run_pair_stream(
-                pairs(),
+                iter_test_pairs(draws, dirty_gather, ideal_gather, use_block),
                 strategies,
                 config=cfg,
                 distance=distance,

@@ -462,6 +462,26 @@ class SlabFeed:
                 self.ring.append(slab)
                 yield slab
 
+    def iter_stream_windows(
+        self, width: int, spill: bool = True
+    ) -> "Iterator[StreamWindow]":
+        """Yield every series' :class:`~repro.data.window.StreamWindow`
+        sequence, shard by shard, in population and ``seq`` order.
+
+        The feed→service bridge: each series is cut with
+        :func:`~repro.data.window.cut_series_windows` (so seq-order
+        concatenation reproduces it bitwise) and keyed by its population
+        index, ready to be pushed at a
+        :class:`~repro.service.session.MonitoringSession` — in this order,
+        or any reordering/duplication of it. Works on ragged populations
+        (the cut is per series; nothing is stacked).
+        """
+        from repro.data.window import cut_series_windows
+
+        for source, series in self.iter_series(spill=spill):
+            for offset, s in enumerate(series):
+                yield from cut_series_windows(s, source.start + offset, width)
+
     # -- lifecycle ---------------------------------------------------------------
 
     def _shard_files(self) -> list[os.DirEntry]:

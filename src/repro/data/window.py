@@ -28,7 +28,105 @@ from repro.utils.validation import check_positive_int
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> cleaning -> data)
     from repro.core.pipeline import Pipeline
 
-__all__ = ["WindowHistory", "WindowShard", "ingest_window_shard"]
+__all__ = [
+    "WindowHistory",
+    "WindowShard",
+    "ingest_window_shard",
+    "StreamWindow",
+    "cut_series_windows",
+]
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """One contiguous chunk of one live stream, as it arrives at a service.
+
+    The unit of push-driven ingestion: a per-tower feed delivers its series
+    as a sequence of ``(w, v)`` value windows, identified by the stream's
+    population index and a per-stream sequence number. Windows carry their
+    own identity so out-of-order and duplicated delivery are detectable —
+    the ``(stream_id, seq)`` pair is the dedup key, and concatenating a
+    stream's windows in ``seq`` order reconstructs the original series
+    bitwise (:func:`cut_series_windows` guarantees the converse cut).
+
+    ``truth`` rides along when the source series carries pre-glitch ground
+    truth (the re-measurement strategies need it); ``node`` preserves the
+    series' node identifier for reassembly.
+    """
+
+    stream_id: int
+    seq: int
+    values: np.ndarray
+    attributes: tuple[str, ...]
+    node: Optional[object] = None
+    truth: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.stream_id < 0 or self.seq < 0:
+            raise ValidationError("stream_id and seq must be non-negative")
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != len(self.attributes):
+            raise ValidationError(
+                f"window values must be (w, {len(self.attributes)}), "
+                f"got shape {values.shape}"
+            )
+        if self.truth is not None and self.truth.shape != values.shape:
+            raise ValidationError(
+                f"truth shape {self.truth.shape} does not match values "
+                f"{values.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of time steps in this window."""
+        return int(np.asarray(self.values).shape[0])
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The dedup identity ``(stream_id, seq)``."""
+        return (self.stream_id, self.seq)
+
+
+def cut_series_windows(
+    series: TimeSeries, stream_id: int, width: int
+) -> list[StreamWindow]:
+    """Cut one series into its in-order :class:`StreamWindow` sequence.
+
+    Windows are consecutive ``[a, a + width)`` slices of the time axis (the
+    last one ragged), copied so a window never pins its source series. The
+    cut is the exact inverse of seq-order concatenation: stacking the
+    returned windows' values reproduces ``series.values`` bit for bit, which
+    is what makes push-delivered streams reassemblable into the batch
+    engine's inputs.
+    """
+    check_positive_int(width, "width")
+    windows: list[StreamWindow] = []
+    values = series.values
+    truth = series.truth
+    for seq, a in enumerate(range(0, series.length, width)):
+        chunk = values[a : a + width]
+        windows.append(
+            StreamWindow(
+                stream_id=stream_id,
+                seq=seq,
+                values=chunk.copy(),
+                attributes=series.attributes,
+                node=series.node,
+                truth=None if truth is None else truth[a : a + width].copy(),
+            )
+        )
+    if not windows:
+        windows.append(
+            StreamWindow(
+                stream_id=stream_id,
+                seq=0,
+                values=values[:0].copy(),
+                attributes=series.attributes,
+                node=series.node,
+                truth=None if truth is None else truth[:0].copy(),
+            )
+        )
+    return windows
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import DistanceError
+from repro.stats.ecdf import EcdfSketch
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -394,6 +395,59 @@ class HistogramBinner:
         edges = [
             self._uniform_edges(float(lo), float(hi)) for lo, hi in zip(mins, maxs)
         ]
+        return HistogramGrid(shift=shift, scale=scale, edges=tuple(edges))
+
+    def grid_from_sketches(
+        self,
+        shift: np.ndarray,
+        scale: np.ndarray,
+        sketches: Sequence,
+    ) -> HistogramGrid:
+        """A grid whose edges come from streamed per-dimension ECDF sketches.
+
+        The quantile-binning counterpart of :meth:`grid_from_stats`:
+        *sketches* holds one :class:`~repro.stats.ecdf.EcdfSketch` of each
+        dimension's **raw** reference values. Edges replay the pooled
+        :meth:`_edges` arithmetic on the standardised reference column —
+        the sketch values are mapped through the frame elementwise (the
+        same ``(x - shift) / scale`` every pooled row would see), the
+        support read off the mapped extremes, and quantile edges taken with
+        :meth:`EcdfSketch.quantile`, which replays ``np.quantile`` bit for
+        bit in exact mode. Uniform binning falls through to the same
+        equal-width edges :meth:`_edges` would produce.
+
+        The grid spans the *reference* support only (the documented
+        streaming semantics — the pooled path's edges span the union of
+        reference and candidates), and with compressed sketches edges
+        inherit the sketch's rank-error tolerance.
+        """
+        shift = np.asarray(shift, dtype=float)
+        scale = np.asarray(scale, dtype=float)
+        if len(sketches) != shift.shape[0]:
+            raise DistanceError(
+                f"got {len(sketches)} sketches for {shift.shape[0]} dimensions"
+            )
+        edges = []
+        for j, sketch in enumerate(sketches):
+            if sketch.n == 0:
+                raise DistanceError(
+                    f"dimension {j} has no finite reference values to bin"
+                )
+            raw_lo, raw_hi = sketch.support
+            lo = (raw_lo - shift[j]) / scale[j]
+            hi = (raw_hi - shift[j]) / scale[j]
+            if lo == hi or self.binning == "uniform":
+                e = self._uniform_edges(lo, hi)
+            else:
+                qs = np.linspace(0.0, 1.0, self.n_bins + 1)
+                standardized = EcdfSketch(sketch.max_size)
+                standardized.merge(sketch)
+                standardized._consolidate()
+                standardized._values = (standardized._values - shift[j]) / scale[j]
+                e = np.unique(standardized.quantile(qs))
+                if e.size < 2:
+                    e = np.array([lo - 0.5, hi + 0.5])
+            edges.append(e)
         return HistogramGrid(shift=shift, scale=scale, edges=tuple(edges))
 
     def reference_frame(self, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -11,7 +11,9 @@ makes them **streaming-native**: the frozen-grid count accumulators of
 directly, and :class:`~repro.core.distortion.StreamingDistortion` scores a
 whole candidate panel without pooling a sample array (count folding is
 bitwise-exact, so within-support uniform-binning streams equal the pooled
-path exactly; see the README distance table for the tolerance contract).
+path exactly; quantile binning streams too, its edges replayed bitwise
+from ECDF order-statistic sketches — see the README distance table for
+the tolerance contract).
 """
 
 from __future__ import annotations
@@ -58,8 +60,10 @@ class KLDivergence(Distance):
     ----------
     n_bins, binning, standardize:
         Forwarded to :class:`HistogramBinner` (shared support, like EMD).
-        Uniform binning makes the divergence streaming-capable; quantile
-        edges need the pooled sample by definition.
+        Both binnings are streaming-capable: uniform grids freeze from
+        streamed moments, and quantile edges replay ``np.quantile`` bitwise
+        from per-dimension :class:`~repro.stats.ecdf.EcdfSketch` order
+        statistics folded over the reference slabs.
     pseudo_count:
         Additive smoothing mass added to **each** occupied-union bin: with
         ``k`` bins in the union, a bin mass ``m`` becomes
@@ -137,8 +141,9 @@ class JensenShannonDistance(Distance):
     """Jensen-Shannon *distance* (square root of JS divergence, natural log).
 
     Bounded by ``sqrt(log 2)`` and symmetric — a better-behaved cousin of KL
-    for reporting, included as an extension. Uniform binning makes it
-    streaming-capable exactly like :class:`KLDivergence`.
+    for reporting, included as an extension. Streaming-capable under both
+    binnings exactly like :class:`KLDivergence` (quantile edges come from
+    streamed ECDF sketches, uniform grids from streamed moments).
     """
 
     name = "js"

@@ -1,0 +1,117 @@
+"""Audit trail and alerting over live detector verdicts.
+
+Every window a session folds leaves one :class:`AuditRecord` — the
+injection→detection→audit-table shape: what arrived, whether it was a
+duplicate, and the stream's live cleanliness fractions and glitch score
+after the fold. Streams whose live state crosses the sink's thresholds
+raise alerts, deduplicated per stream (an alert latches until the stream's
+state drops back under every threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.incremental import WindowDelta
+
+__all__ = ["AuditRecord", "AlertSink"]
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One folded arrival, as the audit table sees it."""
+
+    session: str
+    stream_id: int
+    seq: int
+    arrival: int
+    accepted: bool
+    n_records: int
+    miss_fraction: float
+    inc_fraction: float
+    out_fraction: Optional[float]
+    glitch_score: Optional[float]
+    alert: bool
+
+
+class AlertSink:
+    """In-memory audit/alert sink for a session's detector verdicts.
+
+    Parameters
+    ----------
+    glitch_threshold:
+        Alert when a stream's live weighted glitch score reaches this value
+        (needs a frozen detector suite — before that, glitch scores are
+        ``None`` and never alert).
+    fraction_threshold:
+        Alert when any live record-level glitch fraction (missing,
+        inconsistent, or — once a suite froze — outlier) reaches this
+        value. The natural choice is the experiment's ``max_fraction``:
+        streams the identification would rule non-ideal alert as their
+        evidence accumulates.
+    """
+
+    def __init__(
+        self,
+        glitch_threshold: Optional[float] = None,
+        fraction_threshold: Optional[float] = None,
+    ):
+        self.glitch_threshold = glitch_threshold
+        self.fraction_threshold = fraction_threshold
+        self.records: List[AuditRecord] = []
+        self._alerting: Dict[int, bool] = {}
+        self.alerts: List[AuditRecord] = []
+
+    def _breaches(self, delta: WindowDelta) -> bool:
+        if self.fraction_threshold is not None:
+            fractions = [delta.miss_fraction, delta.inc_fraction]
+            if delta.out_fraction is not None:
+                fractions.append(delta.out_fraction)
+            if any(f >= self.fraction_threshold for f in fractions):
+                return True
+        if (
+            self.glitch_threshold is not None
+            and delta.glitch_score is not None
+            and delta.glitch_score >= self.glitch_threshold
+        ):
+            return True
+        return False
+
+    def record(self, session: str, delta: WindowDelta) -> AuditRecord:
+        """Audit one fold delta; returns the record (``alert`` set on the
+        arrival that newly crossed a threshold)."""
+        breaches = self._breaches(delta)
+        was_alerting = self._alerting.get(delta.stream_id, False)
+        alert = breaches and not was_alerting
+        self._alerting[delta.stream_id] = breaches
+        rec = AuditRecord(
+            session=session,
+            stream_id=delta.stream_id,
+            seq=delta.seq,
+            arrival=delta.arrival,
+            accepted=delta.accepted,
+            n_records=delta.n_records,
+            miss_fraction=delta.miss_fraction,
+            inc_fraction=delta.inc_fraction,
+            out_fraction=delta.out_fraction,
+            glitch_score=delta.glitch_score,
+            alert=alert,
+        )
+        self.records.append(rec)
+        if alert:
+            self.alerts.append(rec)
+        return rec
+
+    def stream_history(self, stream_id: int) -> List[AuditRecord]:
+        """The audit records of one stream, in arrival order."""
+        return [r for r in self.records if r.stream_id == stream_id]
+
+    def alerting_streams(self) -> List[int]:
+        """Streams whose live state currently breaches a threshold."""
+        return sorted(i for i, on in self._alerting.items() if on)
+
+    @property
+    def n_duplicates(self) -> int:
+        """Audited arrivals that were refused as duplicates."""
+        return sum(1 for r in self.records if not r.accepted)

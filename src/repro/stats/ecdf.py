@@ -207,6 +207,53 @@ class EcdfSketch:
         cum = np.concatenate([[0.0], np.cumsum(self._weights)])
         return cum[np.searchsorted(self._values, x, side="right")] / self._n
 
+    def quantile(self, q: np.ndarray) -> np.ndarray:
+        """Order statistics of the folded multiset, replaying ``np.quantile``.
+
+        Computes the same linear-interpolation (Hyndman & Fan type 7)
+        quantiles ``np.quantile(pooled, q)`` would return for the pooled
+        sample, directly from the weighted summary: the virtual sorted-array
+        index ``(n - 1) * q`` is resolved against the cumulative weights, and
+        the interpolation replays numpy's ``_lerp`` arithmetic — including
+        its ``t >= 0.5`` rewrite ``b - (b - a) * (1 - t)`` — operation for
+        operation. In **exact mode** the result is therefore bitwise equal to
+        pooling and calling ``np.quantile``; this is what lets quantile bin
+        edges be frozen from a streamed reference (the streaming KL/JS path)
+        without ever materialising the pooled sample. In compressed mode the
+        retained order statistics stand in for the full multiset, so
+        quantiles inherit the sketch's documented rank-error tolerance.
+        """
+        if self._n == 0:
+            raise ValidationError("empty EcdfSketch has no quantiles")
+        self._consolidate()
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0) | (q > 1)):
+            raise ValidationError("quantile levels must lie in [0, 1]")
+        scalar = q.ndim == 0
+        q = np.atleast_1d(q)
+        cum = np.cumsum(self._weights)
+        n = self._n
+        virtual = (n - 1) * q
+        previous = np.floor(virtual)
+        nxt = previous + 1
+        above = virtual >= n - 1
+        previous[above] = n - 1
+        nxt[above] = n - 1
+        below = virtual < 0
+        previous[below] = 0
+        nxt[below] = 0
+        # Map virtual sorted-array positions to retained values: position j
+        # holds values[i] where the cumulative weight first exceeds j.
+        a = self._values[np.searchsorted(cum, previous.astype(np.intp), side="right")]
+        b = self._values[np.searchsorted(cum, nxt.astype(np.intp), side="right")]
+        gamma = np.asarray(virtual - previous, dtype=virtual.dtype)
+        diff = b - a
+        out = a + diff * gamma
+        hi = gamma >= 0.5
+        if np.any(hi):
+            out[hi] = (b - diff * (1 - gamma))[hi]
+        return out[0] if scalar else out
+
     # -- distances -----------------------------------------------------------
 
     def ks_distance(self, other: "EcdfSketch") -> float:

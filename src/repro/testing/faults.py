@@ -39,6 +39,12 @@ Known sites (see the modules that probe them):
 ``worker.slow``           worker-side: sleep before computing (a straggler)
 ``lease.expire``          coordinator-side: treat a live worker's lease as
                           expired (its units are re-dispatched)
+``feed.stall``            ingestion feed: yield to the event loop and deliver
+                          the window late (a bursty/slow producer)
+``feed.dup``              ingestion feed: deliver the same window twice (an
+                          at-least-once transport retry)
+``feed.reorder``          ingestion feed: swap the next two windows (an
+                          out-of-order arrival)
 ========================  =====================================================
 """
 
@@ -81,6 +87,9 @@ KNOWN_SITES = frozenset(
         "worker.lost",
         "worker.slow",
         "lease.expire",
+        "feed.stall",
+        "feed.dup",
+        "feed.reorder",
     ]
 )
 

@@ -179,10 +179,6 @@ class TestStreamingDistortion:
             stream.observe(_sample(5, 2, seed=15), [])  # wrong panel size
         with pytest.raises(DistanceError):
             StreamingDistortion(0, distance=distance)
-        with pytest.raises(DistanceError):
-            StreamingDistortion(
-                1, distance=EarthMoverDistance(binning="quantile")
-            )
 
 
 def _slab(rows, width):
@@ -391,9 +387,43 @@ class TestStreamingDistanceParity:
                 distance=EarthMoverDistance(exact_1d=False),
             )
 
-    def test_quantile_divergences_rejected(self):
-        with pytest.raises(DistanceError):
-            StreamingDistortion(1, distance=KLDivergence())  # quantile default
+    def test_quantile_divergences_stream(self):
+        # Quantile binning (the KL/JS default) is streaming-capable: the
+        # reference pre-pass folds exact per-dimension EcdfSketches and the
+        # frozen grid's edges replay the pooled np.quantile edges bitwise.
+        distance = KLDivergence()  # quantile default
+        p = _sample(300, 2, seed=41)
+        qs = [_sample(240, 2, seed=42), p[:150] + 0.0]
+        stream = StreamingDistortion(2, distance=distance)
+        for slab in _slab(p, 64):
+            stream.observe_reference(slab)
+        stream.freeze_grid()
+        # The streamed grid's quantile edges equal the pooled np.quantile
+        # edges of the reference standardised under the same frame,
+        # dimension by dimension, bit for bit (the frame itself is the
+        # usual streamed moment estimate).
+        standardized = (p - stream.grid.shift) / stream.grid.scale
+        for j, edges in enumerate(stream.grid.edges):
+            expected = np.unique(
+                np.quantile(
+                    standardized[:, j],
+                    np.linspace(0.0, 1.0, distance.binner.n_bins + 1),
+                )
+            )
+            assert np.array_equal(edges, expected)
+        for pr, cands in slab_streams(p, qs, 64)[1]:
+            stream.observe(pr, cands)
+        streamed = stream.finalize()
+        # Bin-count folding on the frozen grid is exact, so any slab slicing
+        # produces the same panel values.
+        replay = StreamingDistortion(2, distance=KLDivergence())
+        for slab in _slab(p, 17):
+            replay.observe_reference(slab)
+        for pr, cands in slab_streams(p, qs, 17)[1]:
+            replay.observe(pr, cands)
+        assert streamed == replay.finalize()
+        # The self-candidate prefix stays far closer than the independent draw.
+        assert streamed[1] < streamed[0]
 
 
 def _as_dataset(rows):

@@ -1,0 +1,303 @@
+"""The incremental fold core's bitwise replay contracts.
+
+Every fold here must reproduce the one-shot batch computation *bitwise* —
+for any window widths, any arrival order, and any duplication the journal
+deduplicates — because the folds hold exact integer state and derive the
+reported floats by replaying the batch expressions at read time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.glitch_index import GlitchWeights, series_glitch_score
+from repro.core.incremental import (
+    CleanlinessFold,
+    DistortionFold,
+    GlitchFold,
+    IncrementalScorer,
+    WindowJournal,
+    analysis_column,
+    cut_series_windows,
+    outlier_record_fraction,
+)
+from repro.data.stream import TimeSeries
+from repro.data.topology import NodeId
+from repro.data.window import StreamWindow
+from repro.distance.kl import KLDivergence
+from repro.errors import DistanceError, ValidationError
+from repro.glitches.constraints import paper_constraints
+from repro.glitches.detectors import (
+    DetectorSuite,
+    ScaleTransform,
+    SigmaLimits,
+    SigmaOutlierDetector,
+)
+from repro.glitches.missing import detect_missing
+from repro.stats.ecdf import EcdfSketch
+
+ATTRS = ("attr1", "attr2", "attr3")
+
+
+def _series(seed, length=60, n_nan=6, n_neg=4):
+    rng = np.random.default_rng(seed)
+    values = rng.gamma(2.0, 3.0, size=(length, len(ATTRS)))
+    flat = values.reshape(-1)
+    flat[rng.choice(flat.size, size=n_nan, replace=False)] = np.nan
+    neg = rng.choice(flat.size, size=n_neg, replace=False)
+    flat[neg] = -np.abs(flat[neg])
+    return TimeSeries(NodeId(0, 0, seed % 7), values, ATTRS)
+
+
+def _suite():
+    limits = SigmaLimits({a: (0.5, 12.0) for a in ATTRS})
+    return DetectorSuite(
+        constraints=paper_constraints(),
+        outlier_detector=SigmaOutlierDetector(limits),
+        transform=None,
+    )
+
+
+def _shuffled_windows(series_list, width, seed):
+    windows = [
+        w
+        for i, s in enumerate(series_list)
+        for w in cut_series_windows(s, i, width)
+    ]
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(windows))
+    return [windows[i] for i in order]
+
+
+class TestJournal:
+    def test_seq_order_reassembly_is_bitwise(self):
+        s = _series(3, length=57)
+        journal = WindowJournal()
+        for w in _shuffled_windows([s], width=13, seed=1):
+            assert journal.offer(w)
+        back = journal.series(0)
+        assert np.array_equal(back.values, s.values, equal_nan=True)
+        assert back.attributes == s.attributes
+        assert back.node == s.node
+
+    def test_duplicates_refused_without_state_change(self):
+        s = _series(4)
+        journal = WindowJournal()
+        windows = cut_series_windows(s, 0, 16)
+        for w in windows:
+            assert journal.offer(w)
+        for w in windows:
+            assert not journal.offer(w)
+        assert journal.n_windows == len(windows)
+
+    def test_gap_detection(self):
+        s = _series(5)
+        journal = WindowJournal()
+        windows = cut_series_windows(s, 0, 16)
+        journal.offer(windows[0])
+        journal.offer(windows[2])
+        with pytest.raises(ValidationError, match="gaps"):
+            journal.series(0)
+
+    def test_assemble_requires_dense_stream_ids(self):
+        s = _series(6)
+        journal = WindowJournal()
+        for w in cut_series_windows(s, 2, 16):
+            journal.offer(w)
+        with pytest.raises(ValidationError, match="missing streams"):
+            journal.assemble()
+
+    def test_attribute_schema_mismatch_rejected(self):
+        journal = WindowJournal()
+        journal.offer(
+            StreamWindow(0, 0, np.zeros((4, 3)), ATTRS)
+        )
+        with pytest.raises(ValidationError, match="attributes"):
+            journal.offer(
+                StreamWindow(1, 0, np.zeros((4, 2)), ("a", "b"))
+            )
+
+    def test_truth_rides_along(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(30, 3))
+        truth = rng.normal(size=(30, 3))
+        s = TimeSeries(NodeId(0, 0, 0), values, ATTRS, truth)
+        journal = WindowJournal()
+        for w in _shuffled_windows([s], width=7, seed=2):
+            journal.offer(w)
+        assert np.array_equal(journal.series(0).truth, truth)
+
+
+class TestCleanlinessFold:
+    @pytest.mark.parametrize("width", [1, 7, 16, 200])
+    def test_fractions_bitwise_match_batch_mean(self, width):
+        constraints = paper_constraints()
+        suite = _suite()
+        fold = CleanlinessFold(constraints, suite=suite)
+        series_list = [_series(i) for i in range(4)]
+        for w in _shuffled_windows(series_list, width, seed=9):
+            fold.fold(
+                w.stream_id, TimeSeries(w.node, w.values, w.attributes)
+            )
+        for i, s in enumerate(series_list):
+            assert fold.miss_fraction(i) == float(
+                detect_missing(s).any(axis=1).mean()
+            )
+            assert fold.inc_fraction(i) == float(
+                constraints.evaluate(s).any(axis=1).mean()
+            )
+            assert fold.out_fraction(i) == outlier_record_fraction(s, suite)
+
+
+class TestGlitchFold:
+    @pytest.mark.parametrize("width", [1, 11, 60])
+    def test_score_bitwise_matches_series_glitch_score(self, width):
+        suite = _suite()
+        weights = GlitchWeights()
+        fold = GlitchFold(suite, weights)
+        series_list = [_series(i + 10) for i in range(3)]
+        for w in _shuffled_windows(series_list, width, seed=3):
+            fold.fold(
+                w.stream_id, TimeSeries(w.node, w.values, w.attributes)
+            )
+        for i, s in enumerate(series_list):
+            assert fold.score(i) == series_glitch_score(
+                suite.annotate(s), weights
+            )
+
+
+class TestAnalysisColumn:
+    def test_transformed_column_replays_pooling(self):
+        transform = ScaleTransform.log_attr1()
+        s = _series(21)
+        col = analysis_column(s, 0, "attr1", transform)
+        raw = s.values[:, 0]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            expected = np.log(raw)
+        expected = expected[np.isfinite(expected)]
+        assert np.array_equal(col, expected)
+        # Untransformed attributes: NaN drop only.
+        col2 = analysis_column(s, 1, "attr2", transform)
+        raw2 = s.values[:, 1]
+        assert np.array_equal(col2, raw2[~np.isnan(raw2)])
+
+
+class TestEcdfQuantile:
+    @pytest.mark.parametrize("width", [1, 13, 97])
+    def test_quantile_bitwise_matches_np_quantile(self, width):
+        rng = np.random.default_rng(7)
+        pooled = rng.gamma(1.5, 2.0, size=500)
+        pooled[rng.choice(500, size=20, replace=False)] = pooled[0]  # ties
+        sketch = EcdfSketch()
+        for a in range(0, pooled.size, width):
+            sketch.add(pooled[a : a + width])
+        q = np.linspace(0.0, 1.0, 17)
+        assert np.array_equal(sketch.quantile(q), np.quantile(pooled, q))
+        assert sketch.quantile(0.5) == np.quantile(pooled, 0.5)
+
+    def test_empty_and_bad_levels(self):
+        sketch = EcdfSketch()
+        with pytest.raises(ValidationError):
+            sketch.quantile(0.5)
+        sketch.add(np.arange(5.0))
+        with pytest.raises(ValidationError):
+            sketch.quantile(1.5)
+
+
+class TestDistortionFold:
+    def test_quantile_histogram_slab_invariance(self):
+        rng = np.random.default_rng(11)
+        p = rng.gamma(1.5, 2.0, size=(300, 2))
+        q = rng.gamma(1.7, 2.1, size=(300, 2))
+
+        def run(width):
+            fold = DistortionFold(1, distance=KLDivergence())
+            for a in range(0, 300, width):
+                fold.observe_reference(p[a : a + width])
+            fold.freeze()
+            for a in range(0, 300, width):
+                fold.observe(p[a : a + width], [q[a : a + width]])
+            return fold.finalize()
+
+        assert run(64) == run(17) == run(300)
+
+    def test_error_messages_preserved(self):
+        with pytest.raises(DistanceError, match="at least one candidate"):
+            DistortionFold(0)
+        fold = DistortionFold(1)
+        with pytest.raises(DistanceError, match="no reference rows"):
+            fold.freeze()
+        fold.observe_reference(np.ones((5, 2)))
+        with pytest.raises(DistanceError, match="dimension mismatch"):
+            fold.observe_reference(np.ones((5, 3)))
+        fold.freeze()
+        with pytest.raises(DistanceError, match="no more reference slabs"):
+            fold.observe_reference(np.ones((5, 2)))
+        with pytest.raises(DistanceError, match="expected 1 candidate"):
+            fold.observe(np.ones((2, 2)), [])
+
+    def test_finalize_is_repeatable_and_non_destructive(self):
+        rng = np.random.default_rng(12)
+        p = rng.normal(size=(100, 2))
+        q = rng.normal(size=(100, 2))
+        fold = DistortionFold(1, distance=KLDivergence(binning="uniform"))
+        fold.observe_reference(p)
+        fold.freeze()
+        fold.observe(p[:50], [q[:50]])
+        first = fold.finalize()
+        assert fold.finalize() == first  # read again, same answer
+        fold.observe(p[50:], [q[50:]])  # live read then more folding
+        assert fold.finalize() is not None
+
+
+class TestIncrementalScorer:
+    def test_live_scores_are_arrival_order_invariant(self):
+        series_list = [_series(i + 30) for i in range(3)]
+        suite = _suite()
+
+        def final_state(seed):
+            scorer = IncrementalScorer(paper_constraints())
+            scorer.freeze_suite(suite)
+            for w in _shuffled_windows(series_list, 9, seed=seed):
+                scorer.fold(w)
+            return [
+                (
+                    scorer.cleanliness.miss_fraction(i),
+                    scorer.cleanliness.inc_fraction(i),
+                    scorer.glitch_score(i),
+                )
+                for i in range(len(series_list))
+            ]
+
+        assert final_state(1) == final_state(2) == final_state(3)
+
+    def test_late_freeze_equals_early_freeze(self):
+        series_list = [_series(i + 40) for i in range(2)]
+        suite = _suite()
+        windows = _shuffled_windows(series_list, 8, seed=5)
+
+        early = IncrementalScorer(paper_constraints())
+        early.freeze_suite(suite)
+        for w in windows:
+            early.fold(w)
+
+        late = IncrementalScorer(paper_constraints())
+        for w in windows:
+            late.fold(w)
+        late.freeze_suite(suite)  # backfills the journal
+
+        for i in range(len(series_list)):
+            assert early.glitch_score(i) == late.glitch_score(i)
+
+    def test_duplicates_do_not_move_state(self):
+        series_list = [_series(50)]
+        scorer = IncrementalScorer(paper_constraints())
+        windows = cut_series_windows(series_list[0], 0, 10)
+        for w in windows:
+            assert scorer.fold(w).accepted
+        before = scorer.cleanliness.miss_fraction(0)
+        delta = scorer.fold(windows[0])
+        assert not delta.accepted
+        assert scorer.n_duplicates == 1
+        assert scorer.cleanliness.miss_fraction(0) == before
